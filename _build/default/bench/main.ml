@@ -1,0 +1,177 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   section (the same rows/series, at laptop scale — see EXPERIMENTS.md
+   for the paper-vs-measured record).
+
+   Part 2 runs Bechamel microbenchmarks of the hot paths the simulation
+   rests on: extent-map updates (client cache & data-server extent
+   cache), LCM checks, layout arithmetic, lock-server queue passes and
+   whole mini-cluster steps.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- experiments  # tables/figures only
+     dune exec bench/main.exe -- micro        # microbenchmarks only *)
+
+open Ccpfs_util
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: microbenchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let iv lo hi = Interval.v ~lo ~hi
+
+let bench_extent_map_set =
+  Test.make ~name:"extent_map.set (1k live extents)"
+    (Staged.stage (fun () ->
+         let m =
+           List.fold_left
+             (fun m k -> Extent_map.set m (iv (k * 8192) ((k * 8192) + 4096)) k)
+             Extent_map.empty
+             (List.init 1000 (fun k -> k))
+         in
+         Sys.opaque_identity (Extent_map.cardinal m)))
+
+let bench_extent_map_merge =
+  let base =
+    List.fold_left
+      (fun m k -> Extent_map.set m (iv (k * 8192) ((k * 8192) + 4096)) k)
+      Extent_map.empty
+      (List.init 1000 (fun k -> k))
+  in
+  Test.make ~name:"extent_map.merge by SN (data-server write routine)"
+    (Staged.stage (fun () ->
+         let m, won =
+           Extent_map.merge base (iv 0 4_000_000) 5000 ~keep_new:(fun ~old ->
+               5000 > old)
+         in
+         Sys.opaque_identity (Extent_map.cardinal m + List.length won)))
+
+let bench_lcm =
+  let modes = Seqdlm.Mode.[| PR; NBW; BW; PW |] in
+  let states = Seqdlm.Lcm.[| Granted; Canceling |] in
+  Test.make ~name:"lcm.compatible (full Table II sweep)"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         Array.iter
+           (fun req ->
+             Array.iter
+               (fun granted ->
+                 Array.iter
+                   (fun state ->
+                     if Seqdlm.Lcm.compatible ~req ~granted ~state then incr acc)
+                   states)
+               modes)
+           modes;
+         Sys.opaque_identity !acc))
+
+let bench_layout_chunks =
+  let l = Ccpfs.Layout.v ~stripe_count:8 () in
+  Test.make ~name:"layout.chunks (16MiB over 8 stripes)"
+    (Staged.stage (fun () ->
+         Sys.opaque_identity
+           (List.length (Ccpfs.Layout.chunks l (iv 12345 (12345 + (16 * Units.mib)))))))
+
+let bench_engine_events =
+  Test.make ~name:"engine: 1k processes x sleep"
+    (Staged.stage (fun () ->
+         let eng = Dessim.Engine.create () in
+         for i = 1 to 1000 do
+           Dessim.Engine.spawn eng ~name:(string_of_int i) (fun () ->
+               Dessim.Engine.sleep eng (float_of_int (i mod 13) *. 1e-5))
+         done;
+         Dessim.Engine.run eng;
+         Sys.opaque_identity (Dessim.Engine.events_dispatched eng)))
+
+let bench_lock_handoff =
+  Test.make ~name:"full lock handoff chain (2 clients, 32 transfers)"
+    (Staged.stage (fun () ->
+         let params = Netsim.Params.default in
+         let eng = Dessim.Engine.create () in
+         let node = Netsim.Node.create eng params ~name:"s" () in
+         let server =
+           Seqdlm.Lock_server.create eng params ~node ~name:"ls"
+             ~policy:Seqdlm.Policy.seqdlm
+         in
+         let clients =
+           Array.init 2 (fun i ->
+               let cn =
+                 Netsim.Node.create eng params ~name:(Printf.sprintf "c%d" i) ()
+               in
+               let hooks =
+                 {
+                   Seqdlm.Lock_client.flush = (fun ~rid:_ ~ranges:_ -> ());
+                   has_dirty = (fun ~rid:_ ~ranges:_ -> false);
+                   invalidate = (fun ~rid:_ ~ranges:_ -> ());
+                 }
+               in
+               Seqdlm.Lock_client.create eng params ~node:cn ~client_id:i
+                 ~route:(fun _ -> server)
+                 ~hooks)
+         in
+         for i = 0 to 1 do
+           Dessim.Engine.spawn eng ~name:(Printf.sprintf "w%d" i) (fun () ->
+               for _ = 1 to 16 do
+                 Seqdlm.Lock_client.with_lock clients.(i) ~rid:1
+                   ~mode:Seqdlm.Mode.NBW
+                   ~ranges:[ Interval.to_eof ~lo:0 ]
+                   (fun _ -> ())
+               done)
+         done;
+         Dessim.Engine.run eng;
+         Sys.opaque_identity (Seqdlm.Lock_server.stats server).grants))
+
+let bench_mini_cluster =
+  Test.make ~name:"mini ccPFS cluster (4 clients x 32 strided writes)"
+    (Staged.stage (fun () ->
+         let cl = Ccpfs.Cluster.create ~n_servers:1 ~n_clients:4 () in
+         for i = 0 to 3 do
+           Ccpfs.Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i)
+             (fun c ->
+               let f = Ccpfs.Client.open_file c ~create:true "/bench" in
+               for k = 0 to 31 do
+                 Ccpfs.Client.write c f
+                   ~off:(((k * 4) + i) * 65536)
+                   ~len:65536
+               done)
+         done;
+         Ccpfs.Cluster.run cl;
+         Sys.opaque_identity (Ccpfs.Cluster.total_bytes_written cl)))
+
+let micro_tests =
+  Test.make_grouped ~name:"seqdlm-micro"
+    [
+      bench_extent_map_set;
+      bench_extent_map_merge;
+      bench_lcm;
+      bench_layout_chunks;
+      bench_engine_events;
+      bench_lock_handoff;
+      bench_mini_cluster;
+    ]
+
+let run_micro () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests
+  in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  print_endline "\n== microbenchmarks (ns/run) ==";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-55s %12.0f ns\n" name est
+      | _ -> Printf.printf "%-55s (no estimate)\n" name)
+    results
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "all" || what = "experiments" then
+    Experiments.Registry.run_all ();
+  if what = "all" || what = "micro" then run_micro ()

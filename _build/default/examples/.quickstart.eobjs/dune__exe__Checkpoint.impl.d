@@ -1,0 +1,1 @@
+examples/checkpoint.ml: Ccpfs Ccpfs_util Client Cluster Layout List Printf Seqdlm Units Workloads

@@ -1,0 +1,1 @@
+examples/custom_dlm.ml: Array Ccpfs_util Dessim Engine Interval List Lock_client Lock_server Mode Netsim Policy Printf Seqdlm Units

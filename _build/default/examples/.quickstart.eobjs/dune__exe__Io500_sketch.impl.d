@@ -1,0 +1,1 @@
+examples/io500_sketch.ml: Ccpfs Ccpfs_util Client Cluster Layout List Printf Seqdlm Units Workloads

@@ -1,0 +1,1 @@
+examples/io500_sketch.mli:

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Ccpfs Ccpfs_util Client Cluster Condition Content Dessim Engine List Printf Units

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccpfs Ccpfs_util Client Cluster Interval Layout List Printf Units

@@ -1,0 +1,56 @@
+(* Checkpointing a simulation to a shared file — the motivating HPC
+   workload.  Ranks dump interleaved state slices (N-1 strided) between
+   compute phases; the time the application sees is the parallel-IO time,
+   which is where SeqDLM's early grant pays off.
+
+     dune exec examples/checkpoint.exe *)
+
+open Ccpfs_util
+open Ccpfs
+
+let ranks = 16
+let xfer = 256 * Units.kib
+let blocks_per_rank = 64
+let stripes = 4
+
+let checkpoint_once ~policy =
+  let cluster =
+    Cluster.create ~policy ~n_servers:stripes ~n_clients:ranks ()
+  in
+  for rank = 0 to ranks - 1 do
+    Cluster.spawn_client cluster rank ~name:(Printf.sprintf "rank%d" rank)
+      (fun c ->
+        let layout = Layout.v ~stripe_count:stripes () in
+        let f = Client.open_file c ~create:true ~layout "/checkpoint.0" in
+        List.iter
+          (fun (a : Workloads.Access.t) ->
+            Client.write c f ~off:a.off ~len:a.len)
+          (Workloads.Ior.accesses ~pattern:Workloads.Access.N1_strided
+             ~nprocs:ranks ~rank ~xfer ~blocks:blocks_per_rank))
+  done;
+  Cluster.run cluster;
+  let pio = Cluster.now cluster in
+  Cluster.fsync_all cluster;
+  (pio, Cluster.now cluster, Cluster.total_bytes_written cluster)
+
+let () =
+  Printf.printf "checkpoint: %d ranks x %d x %s (N-1 strided, %d stripes)\n\n"
+    ranks blocks_per_rank (Units.bytes_to_string xfer) stripes;
+  let report name (pio, total, bytes) =
+    Printf.printf
+      "%-12s application-visible checkpoint time %-8s (%.2f GB/s), durable \
+       after %s\n"
+      name
+      (Units.seconds_to_string pio)
+      (float_of_int bytes /. pio /. 1e9)
+      (Units.seconds_to_string total)
+  in
+  let seq = checkpoint_once ~policy:Seqdlm.Policy.seqdlm in
+  let lus = checkpoint_once ~policy:Seqdlm.Policy.dlm_lustre in
+  report "SeqDLM" seq;
+  report "DLM-Lustre" lus;
+  let (pio_s, _, _), (pio_l, _, _) = (seq, lus) in
+  Printf.printf
+    "\nthe compute phase resumes %.1fx sooner under SeqDLM; flushing \
+     continues in the background either way\n"
+    (pio_l /. pio_s)

@@ -1,0 +1,61 @@
+(* A concurrent producer/consumer workflow over a shared file — the
+   overlapping-IO pattern the introduction motivates: the producer keeps
+   appending records while the consumer reads finished regions, and the
+   distributed lock manager alone keeps the consumer's view coherent
+   (reads force the producer's cached data out; no fsync, no barriers).
+
+     dune exec examples/producer_consumer.exe *)
+
+open Ccpfs_util
+open Ccpfs
+open Dessim
+
+let record = 128 * Units.kib
+let records = 24
+
+let () =
+  let cluster = Cluster.create ~n_servers:1 ~n_clients:2 () in
+  let eng = Cluster.engine cluster in
+  let produced = Condition.create eng in
+  let count = ref 0 in
+
+  Cluster.spawn_client cluster 0 ~name:"producer" (fun c ->
+      let f = Client.open_file c ~create:true "/stream" in
+      for _ = 1 to records do
+        let off = Client.append c f ~len:record in
+        ignore off;
+        incr count;
+        Condition.broadcast produced;
+        (* Simulated compute between records. *)
+        Engine.sleep eng 2e-3
+      done);
+
+  Cluster.spawn_client cluster 1 ~name:"consumer" (fun c ->
+      let f = Client.open_file c "/stream" in
+      let consumed = ref 0 in
+      while !consumed < records do
+        Condition.wait_until produced (fun () -> !count > !consumed);
+        let next = !consumed in
+        let segs = Client.read c f ~off:(next * record) ~len:record in
+        let ok =
+          segs <> []
+          && List.for_all
+               (fun (_, _, tag) ->
+                 match tag with
+                 | Some t -> t.Content.writer = 0
+                 | None -> false)
+               segs
+        in
+        Printf.printf "t=%-8s consumer read record %2d: %s\n"
+          (Units.seconds_to_string (Engine.now eng))
+          next
+          (if ok then "coherent" else "STALE/HOLE!");
+        incr consumed
+      done);
+
+  Cluster.run cluster;
+  let stats = Cluster.sum_lock_stats cluster in
+  Printf.printf
+    "\n%d records handed over through lock revocations alone (%d revocation \
+     callbacks, %d upgrades)\n"
+    records stats.revokes_sent stats.upgrades

@@ -1,0 +1,53 @@
+(* Quickstart: bring up a small simulated ccPFS cluster, write a shared
+   file from several clients under SeqDLM, read it back coherently, and
+   look at what the lock manager did.
+
+     dune exec examples/quickstart.exe *)
+
+open Ccpfs_util
+open Ccpfs
+
+let () =
+  (* A 2-data-server, 4-client cluster with the paper's testbed
+     parameters and the SeqDLM policy (the default). *)
+  let cluster = Cluster.create ~n_servers:2 ~n_clients:4 () in
+
+  (* Every client writes its own interleaved slots of a shared 2-stripe
+     file — the N-1 strided pattern that cripples traditional DLMs. *)
+  let xfer = 64 * Units.kib and slots = 32 in
+  for i = 0 to 3 do
+    Cluster.spawn_client cluster i ~name:(Printf.sprintf "writer%d" i)
+      (fun c ->
+        let layout = Layout.v ~stripe_count:2 () in
+        let f = Client.open_file c ~create:true ~layout "/shared.dat" in
+        for k = 0 to slots - 1 do
+          let slot = (k * 4) + i in
+          Client.write c f ~off:(slot * xfer) ~len:xfer
+        done)
+  done;
+  Cluster.run cluster;
+  let pio = Cluster.now cluster in
+
+  (* Reads take PR locks, which force conflicting writers to flush:
+     the reader sees every byte without any explicit synchronisation. *)
+  let holes = ref 0 and bytes = ref 0 in
+  Cluster.spawn_client cluster 0 ~name:"reader" (fun c ->
+      let f = Client.open_file c "/shared.dat" in
+      Client.read c f ~off:0 ~len:(4 * slots * xfer)
+      |> List.iter (fun (_, iv, tag) ->
+             bytes := !bytes + Interval.length iv;
+             if tag = None then incr holes));
+  Cluster.run cluster;
+
+  let stats = Cluster.sum_lock_stats cluster in
+  Printf.printf "wrote %s from 4 clients in %s of simulated time\n"
+    (Units.bytes_to_string (Cluster.total_bytes_written cluster))
+    (Units.seconds_to_string pio);
+  Printf.printf "read back %s, holes: %d\n" (Units.bytes_to_string !bytes) !holes;
+  Printf.printf
+    "lock server: %d grants (%d early), %d early revocations, %d revocation \
+     callbacks, %d upgrades, %d downgrades\n"
+    stats.grants stats.early_grants stats.early_revocations stats.revokes_sent
+    stats.upgrades stats.downgrades;
+  Cluster.check_invariants cluster;
+  print_endline "invariants hold — done."

@@ -1,0 +1,1 @@
+lib/analytic/model.ml: Netsim Params

@@ -1,0 +1,33 @@
+open Netsim
+
+type terms = { t1 : float; t2 : float; t3 : float }
+
+let b_flush (p : Params.t) = Params.b_flush p
+
+let terms (p : Params.t) ~d =
+  let df = float_of_int d in
+  {
+    t1 = 1. /. (p.server_ops *. df);
+    t2 = p.rtt /. df;
+    t3 = 1. /. b_flush p;
+  }
+
+let dominant_term t =
+  if t.t3 >= t.t1 && t.t3 >= t.t2 then `T3
+  else if t.t2 >= t.t1 then `T2
+  else `T1
+
+let bandwidth_exact (p : Params.t) ~n ~d =
+  let nf = float_of_int n and df = float_of_int d in
+  nf *. df
+  /. ((nf /. p.server_ops)
+     +. ((nf -. 1.) *. p.rtt)
+     +. ((nf -. 1.) *. df /. b_flush p))
+
+let bandwidth_approx p ~d =
+  let t = terms p ~d in
+  1. /. (t.t1 +. t.t2 +. t.t3)
+
+let bandwidth_no_flush (p : Params.t) ~n ~d =
+  let nf = float_of_int n and df = float_of_int d in
+  nf *. df /. ((nf /. p.server_ops) +. ((nf -. 1.) *. p.rtt))

@@ -1,0 +1,33 @@
+(** The closed-form cost model of §II-C.
+
+    For N fully-conflicting writes of D bytes on one stripe under a
+    traditional DLM, Eq. (1) bounds the aggregate bandwidth by three
+    per-byte cost terms: ① 1/(OPS·D) for lock-request service, ② RTT/D
+    for the serialized revocation round-trips, ③ 1/B_flush for the
+    serialized data flushing, with B_flush from Eq. (2).  The paper's
+    point — and this module's {!dominant_term} — is that ③ dwarfs ① and
+    ② on real hardware, which is exactly what early grant removes. *)
+
+type terms = {
+  t1 : float;  (** ① = 1/(OPS·D), seconds/byte *)
+  t2 : float;  (** ② = RTT/D, seconds/byte *)
+  t3 : float;  (** ③ = 1/B_flush, seconds/byte *)
+}
+
+val b_flush : Netsim.Params.t -> float
+(** Eq. (2). *)
+
+val terms : Netsim.Params.t -> d:int -> terms
+
+val dominant_term : terms -> [ `T1 | `T2 | `T3 ]
+
+val bandwidth_exact : Netsim.Params.t -> n:int -> d:int -> float
+(** Eq. (1) without the large-N approximation:
+    N·D / (N/OPS + (N−1)·RTT + (N−1)·D/B_flush). *)
+
+val bandwidth_approx : Netsim.Params.t -> d:int -> float
+(** Eq. (1)'s approximation 1/(① + ② + ③). *)
+
+val bandwidth_no_flush : Netsim.Params.t -> n:int -> d:int -> float
+(** Eq. (1) with term ③ removed — the bound once early grant decouples
+    data flushing (revocation becomes the bottleneck). *)

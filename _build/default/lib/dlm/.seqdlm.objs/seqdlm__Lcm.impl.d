@@ -1,0 +1,1 @@
+lib/dlm/lcm.ml: Format Mode

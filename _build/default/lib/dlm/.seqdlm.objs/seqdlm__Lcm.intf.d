@@ -1,0 +1,1 @@
+lib/dlm/lcm.mli: Format Mode

@@ -1,0 +1,1 @@
+lib/dlm/lock_client.ml: Ccpfs_util Condition Dessim Engine Hashtbl Interval Lcm List Lock_server Mode Netsim Node Option Params Policy Printf Rpc Types

@@ -1,0 +1,1 @@
+lib/dlm/lock_client.mli: Ccpfs_util Dessim Lcm Lock_server Mode Netsim Types

@@ -1,0 +1,1 @@
+lib/dlm/lock_server.ml: Ccpfs_util Dessim Engine Format Hashtbl Int Interval Lcm List Mode Netsim Node Option Params Policy Printf Rpc Types

@@ -1,0 +1,1 @@
+lib/dlm/lock_server.mli: Ccpfs_util Dessim Format Lcm Mode Netsim Policy Types

@@ -1,0 +1,1 @@
+lib/dlm/mode.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/dlm/mode.mli: Format

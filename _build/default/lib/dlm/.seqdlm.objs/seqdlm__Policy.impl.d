@@ -1,0 +1,1 @@
+lib/dlm/policy.ml: Ccpfs_util Mode

@@ -1,0 +1,1 @@
+lib/dlm/types.ml: Ccpfs_util Format Interval Lcm List Mode

@@ -1,0 +1,1 @@
+lib/dlm/types.mli: Ccpfs_util Format Lcm Mode

@@ -1,0 +1,16 @@
+type lock_state = Granted | Canceling
+
+let state_to_string = function Granted -> "GRANTED" | Canceling -> "CANCELING"
+let pp_state ppf s = Format.pp_print_string ppf (state_to_string s)
+
+let compatible ~req ~granted ~state =
+  match (req, granted, state) with
+  | Mode.PR, Mode.PR, _ -> true
+  | Mode.PR, (Mode.NBW | Mode.BW | Mode.PW), _ -> false
+  | (Mode.NBW | Mode.BW), Mode.NBW, Canceling -> true (* early grant *)
+  | (Mode.NBW | Mode.BW), Mode.NBW, Granted -> false
+  | (Mode.NBW | Mode.BW), (Mode.PR | Mode.BW | Mode.PW), _ -> false
+  | Mode.PW, _, _ -> false
+
+let request_conflict a b =
+  not (compatible ~req:a ~granted:b ~state:Granted)

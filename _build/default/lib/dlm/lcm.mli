@@ -1,0 +1,26 @@
+(** The lock compatibility matrix of SeqDLM (paper Table II).
+
+    A granted lock is in one of two states.  GRANTED locks may be cached
+    and reused by their holder; CANCELING locks have been revoked (the
+    server processed the revocation reply, or the lock was granted with
+    early revocation piggybacked) and will be cancelled after use.
+
+    Early grant is the single N/Y entry pair: a new NBW or BW request is
+    incompatible with a GRANTED NBW lock but compatible with a CANCELING
+    one — the grant does not wait for the old lock's data flushing.  BW
+    and PW granted locks block every conflicting request in both states,
+    which is what preserves multi-resource write atomicity and
+    read-update atomicity. *)
+
+type lock_state = Granted | Canceling
+
+val state_to_string : lock_state -> string
+val pp_state : Format.formatter -> lock_state -> unit
+
+val compatible : req:Mode.t -> granted:Mode.t -> state:lock_state -> bool
+(** Table II, row = [req], column = [granted] in [state]. *)
+
+val request_conflict : Mode.t -> Mode.t -> bool
+(** Conservative conflict between two not-yet-granted requests (both
+    treated as GRANTED): used for queue fairness and for detecting the
+    "newer conflicting request" condition of early revocation. *)

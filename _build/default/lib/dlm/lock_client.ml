@@ -1,0 +1,292 @@
+open Ccpfs_util
+open Dessim
+open Netsim
+
+type hooks = {
+  flush : rid:Types.resource_id -> ranges:Interval.t list -> unit;
+  has_dirty : rid:Types.resource_id -> ranges:Interval.t list -> bool;
+  invalidate : rid:Types.resource_id -> ranges:Interval.t list -> unit;
+}
+
+type cached_lock = {
+  lock_id : int;
+  rid : Types.resource_id;
+  mutable cmode : Mode.t;
+  mutable ranges : Interval.t list;
+  csn : int;
+  mutable state : Lcm.lock_state;
+  mutable holders : int;
+  mutable cancel_started : bool;
+  idle : Condition.t;
+  mutable merged_into : cached_lock option;
+}
+
+type handle = cached_lock
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  node : Node.t;
+  id : Types.client_id;
+  route : Types.resource_id -> Lock_server.t;
+  hooks : hooks;
+  locks : (Types.resource_id * int, cached_lock) Hashtbl.t;
+  by_rid : (Types.resource_id, cached_lock list ref) Hashtbl.t;
+  registered : (string, unit) Hashtbl.t;
+  pending_revokes : (Types.resource_id * int, unit) Hashtbl.t;
+  mutable revoke_ep : (Types.server_msg, unit) Rpc.endpoint option;
+  mutable locking : float;
+  mutable n_acquires : int;
+  mutable n_hits : int;
+  mutable n_cancels : int;
+}
+
+let rid_locks t rid =
+  match Hashtbl.find_opt t.by_rid rid with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.by_rid rid r;
+      r
+
+let remove_lock t (l : cached_lock) =
+  Hashtbl.remove t.locks (l.rid, l.lock_id);
+  let r = rid_locks t l.rid in
+  r := List.filter (fun x -> x.lock_id <> l.lock_id) !r
+
+let server t rid =
+  let srv = t.route rid in
+  let key = Node.name (Lock_server.node srv) in
+  if not (Hashtbl.mem t.registered key) then begin
+    Hashtbl.add t.registered key ();
+    Lock_server.register_client srv t.id (Option.get t.revoke_ep)
+  end;
+  srv
+
+let send_ctl t srv msg =
+  Rpc.notify (Lock_server.ctl_endpoint srv) ~src:t.node msg
+
+(* The cancel path (§III-A2, §III-D2).  Runs as its own process: waits
+   out ongoing holders, downgrades, flushes, releases. *)
+let start_cancel t (l : cached_lock) =
+  if not l.cancel_started then begin
+    l.cancel_started <- true;
+    t.n_cancels <- t.n_cancels + 1;
+    Engine.spawn t.eng
+      ~name:(Printf.sprintf "c%d.cancel.r%d#%d" t.id l.rid l.lock_id)
+      (fun () ->
+        Condition.wait_until l.idle (fun () -> l.holders = 0);
+        let srv = server t l.rid in
+        let convert = (Lock_server.policy srv).Policy.auto_convert in
+        let release () =
+          (* The lock protected any clean data cached under it; once it is
+             gone the client may no longer serve reads from that data. *)
+          t.hooks.invalidate ~rid:l.rid ~ranges:l.ranges;
+          send_ctl t srv (Types.Release { rid = l.rid; lock_id = l.lock_id });
+          remove_lock t l
+        in
+        match l.cmode with
+        | Mode.PR -> release ()
+        | Mode.NBW ->
+            t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
+            release ()
+        | Mode.BW ->
+            if convert then begin
+              (* Downgrade before flushing so conflicting write requests
+                 can be early-granted during the flush (Fig. 12). *)
+              l.cmode <- Mode.NBW;
+              send_ctl t srv
+                (Types.Downgrade
+                   { rid = l.rid; lock_id = l.lock_id; mode = Mode.NBW })
+            end;
+            t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
+            release ()
+        | Mode.PW ->
+            if convert && t.hooks.has_dirty ~rid:l.rid ~ranges:l.ranges then begin
+              l.cmode <- Mode.NBW;
+              (* PW -> NBW loses the read capability immediately. *)
+              t.hooks.invalidate ~rid:l.rid ~ranges:l.ranges;
+              send_ctl t srv
+                (Types.Downgrade
+                   { rid = l.rid; lock_id = l.lock_id; mode = Mode.NBW });
+              t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
+              release ()
+            end
+            else if convert then begin
+              (* Read-only use: nothing to flush, shrink to PR so pending
+                 readers are granted, then release. *)
+              l.cmode <- Mode.PR;
+              send_ctl t srv
+                (Types.Downgrade
+                   { rid = l.rid; lock_id = l.lock_id; mode = Mode.PR });
+              release ()
+            end
+            else begin
+              t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
+              release ()
+            end)
+  end
+
+let handle_revoke t (msg : Types.server_msg) =
+  match msg with
+  | Types.Revoke { rid; lock_id } -> (
+      match Hashtbl.find_opt t.locks (rid, lock_id) with
+      | Some l ->
+          if l.state = Lcm.Granted then begin
+            l.state <- Lcm.Canceling;
+            send_ctl t (server t rid) (Types.Revoke_ack { rid; lock_id });
+            start_cancel t l
+          end
+      | None ->
+          (* Revocation raced ahead of the grant install: remember it and
+             apply when the grant arrives. *)
+          Hashtbl.replace t.pending_revokes (rid, lock_id) ())
+
+let create eng params ~node ~client_id ~route ~hooks =
+  let t =
+    {
+      eng; params; node; id = client_id; route; hooks;
+      locks = Hashtbl.create 64;
+      by_rid = Hashtbl.create 16;
+      registered = Hashtbl.create 8;
+      pending_revokes = Hashtbl.create 8;
+      revoke_ep = None;
+      locking = 0.;
+      n_acquires = 0;
+      n_hits = 0;
+      n_cancels = 0;
+    }
+  in
+  t.revoke_ep <-
+    Some
+      (Rpc.endpoint eng params ~node ~name:(Printf.sprintf "c%d.revoke" client_id)
+         ~handler:(fun msg ~reply ->
+           handle_revoke t msg;
+           reply ()));
+  t
+
+let covers (l : cached_lock) ranges =
+  List.for_all
+    (fun iv -> List.exists (fun r -> Interval.contains r iv) l.ranges)
+    ranges
+
+let find_usable t ~rid ~mode ~ranges =
+  let r = rid_locks t rid in
+  List.find_opt
+    (fun (l : cached_lock) ->
+      l.state = Lcm.Granted && (not l.cancel_started)
+      && Mode.subsumes ~cached:l.cmode ~wanted:mode
+      && covers l ranges)
+    !r
+
+let install_grant t (g : Types.grant) =
+  (* Lock upgrading merged some of our own locks into this grant: retire
+     them, transferring their in-flight holds to the new lock. *)
+  let merged =
+    List.filter_map (fun id -> Hashtbl.find_opt t.locks (g.rid, id)) g.replaces
+  in
+  List.iter (remove_lock t) merged;
+  let inherited = List.fold_left (fun acc old -> acc + old.holders) 0 merged in
+  let l =
+    {
+      lock_id = g.lock_id;
+      rid = g.rid;
+      cmode = g.mode;
+      ranges = g.ranges;
+      csn = g.sn;
+      state = g.state;
+      holders = 1 + inherited;
+      cancel_started = false;
+      idle = Condition.create t.eng;
+      merged_into = None;
+    }
+  in
+  List.iter (fun old -> old.merged_into <- Some l) merged;
+  Hashtbl.replace t.locks (g.rid, g.lock_id) l;
+  let r = rid_locks t g.rid in
+  r := l :: !r;
+  if Hashtbl.mem t.pending_revokes (g.rid, g.lock_id) then begin
+    Hashtbl.remove t.pending_revokes (g.rid, g.lock_id);
+    if l.state = Lcm.Granted then begin
+      l.state <- Lcm.Canceling;
+      send_ctl t (server t g.rid)
+        (Types.Revoke_ack { rid = g.rid; lock_id = g.lock_id })
+    end
+  end;
+  l
+
+let acquire t ~rid ~mode ~ranges =
+  t.n_acquires <- t.n_acquires + 1;
+  match find_usable t ~rid ~mode ~ranges with
+  | Some l ->
+      t.n_hits <- t.n_hits + 1;
+      l.holders <- l.holders + 1;
+      l
+  | None ->
+      let srv = server t rid in
+      let t0 = Engine.now t.eng in
+      let grant =
+        Rpc.call (Lock_server.lock_endpoint srv) ~src:t.node
+          { Types.client = t.id; rid; mode; ranges }
+      in
+      t.locking <- t.locking +. (Engine.now t.eng -. t0);
+      install_grant t grant
+
+let rec resolve (l : cached_lock) =
+  match l.merged_into with None -> l | Some l' -> resolve l'
+
+let release t h =
+  let l = resolve h in
+  if l.holders <= 0 then invalid_arg "Lock_client.release: not held";
+  l.holders <- l.holders - 1;
+  if l.holders = 0 then begin
+    Condition.broadcast l.idle;
+    if l.state = Lcm.Canceling then start_cancel t l
+  end
+
+let with_lock t ~rid ~mode ~ranges f =
+  let h = acquire t ~rid ~mode ~ranges in
+  match f h with
+  | v ->
+      release t h;
+      v
+  | exception e ->
+      release t h;
+      raise e
+
+type recovery_lock = {
+  r_rid : Types.resource_id;
+  r_lock_id : int;
+  r_mode : Mode.t;
+  r_ranges : Interval.t list;
+  r_sn : int;
+  r_state : Lcm.lock_state;
+}
+
+let locks_for_recovery t ~owned =
+  Hashtbl.fold
+    (fun (rid, _) (l : cached_lock) acc ->
+      if owned rid then
+        {
+          r_rid = rid;
+          r_lock_id = l.lock_id;
+          r_mode = l.cmode;
+          r_ranges = l.ranges;
+          r_sn = l.csn;
+          r_state = l.state;
+        }
+        :: acc
+      else acc)
+    t.locks []
+  |> List.sort (fun a b -> compare (a.r_rid, a.r_lock_id) (b.r_rid, b.r_lock_id))
+
+let sn h = (resolve h).csn
+let mode h = (resolve h).cmode
+let granted_ranges h = (resolve h).ranges
+let is_canceling h = (resolve h).state = Lcm.Canceling
+let locking_seconds t = t.locking
+let acquires t = t.n_acquires
+let cache_hits t = t.n_hits
+let cancels t = t.n_cancels
+let cached_locks t = Hashtbl.length t.locks
+let client_id t = t.id

@@ -1,0 +1,95 @@
+(** The client side of the lock protocol: the per-client lock-grant
+    cache, revocation handling and the cancel path.
+
+    Acquiring first probes the cache for a GRANTED lock whose mode
+    subsumes the requested one and whose ranges cover the request
+    (§II-A); otherwise it sends a lock request and blocks for the grant.
+    Grants arriving in the CANCELING state (early revocation) are used
+    once and then cancelled.
+
+    A revocation callback flips the lock to CANCELING so no new IO can
+    use it, acknowledges immediately, and a canceller process then waits
+    for ongoing holders, performs the automatic downgrade (§III-D2) —
+    BW → NBW before flushing, PW → NBW before flushing when dirty data
+    exists, PW → PR otherwise — flushes the dirty data under the lock via
+    the cache hooks, and releases.
+
+    The data cache itself lives in the PFS layer and is reached through
+    {!hooks}: the lock manager stays independent of what it protects. *)
+
+type t
+
+type hooks = {
+  flush : rid:Types.resource_id -> ranges:Ccpfs_util.Interval.t list -> unit;
+      (** Flush the dirty extents under these ranges to the data server;
+          blocks until the data is durable there.  May be called with
+          nothing dirty (no-op). *)
+  has_dirty : rid:Types.resource_id -> ranges:Ccpfs_util.Interval.t list -> bool;
+  invalidate : rid:Types.resource_id -> ranges:Ccpfs_util.Interval.t list -> unit;
+      (** Drop clean cached data under these ranges: called when a lock
+          loses its read capability (cancel, or PW → NBW downgrade) so the
+          client cannot serve stale reads afterwards. *)
+}
+
+val create :
+  Dessim.Engine.t -> Netsim.Params.t -> node:Netsim.Node.t ->
+  client_id:Types.client_id -> route:(Types.resource_id -> Lock_server.t) ->
+  hooks:hooks -> t
+(** [route] maps a resource to the lock server owning it (ccPFS colocates
+    the DLM service for a stripe with the data server storing it).  The
+    client registers its callback endpoint with each server on first
+    contact.  The conversion policy is taken from each server's policy. *)
+
+type handle
+(** A held reference to a cached lock.  Must be released exactly once. *)
+
+val acquire :
+  t -> rid:Types.resource_id -> mode:Mode.t ->
+  ranges:Ccpfs_util.Interval.t list -> handle
+(** Blocks the calling process until a usable lock is held. *)
+
+val release : t -> handle -> unit
+(** Drop the hold.  GRANTED locks stay cached for reuse; CANCELING locks
+    begin their cancel once the last holder is gone. *)
+
+val with_lock :
+  t -> rid:Types.resource_id -> mode:Mode.t ->
+  ranges:Ccpfs_util.Interval.t list -> (handle -> 'a) -> 'a
+
+val sn : handle -> int
+(** Sequence number tagging data written under this hold. *)
+
+val mode : handle -> Mode.t
+val granted_ranges : handle -> Ccpfs_util.Interval.t list
+val is_canceling : handle -> bool
+
+(** {1 Server recovery (§IV-C2)}
+
+    After a lock-server failure the server rebuilds its lock table by
+    gathering the grants its clients still cache. *)
+
+type recovery_lock = {
+  r_rid : Types.resource_id;
+  r_lock_id : int;
+  r_mode : Mode.t;
+  r_ranges : Ccpfs_util.Interval.t list;
+  r_sn : int;
+  r_state : Lcm.lock_state;
+}
+
+val locks_for_recovery :
+  t -> owned:(Types.resource_id -> bool) -> recovery_lock list
+(** The cached locks whose resources the recovering server owns
+    (canceling locks included: their releases are still coming). *)
+
+(** {1 Instrumentation} *)
+
+val locking_seconds : t -> float
+(** Total virtual time spent blocked in {!acquire} (the "locking time" of
+    Fig. 18(b)). *)
+
+val acquires : t -> int
+val cache_hits : t -> int
+val cancels : t -> int
+val cached_locks : t -> int
+val client_id : t -> Types.client_id

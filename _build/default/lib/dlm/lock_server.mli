@@ -1,0 +1,132 @@
+(** The DLM service of a data server.
+
+    One lock server manages the lock resources of the stripes its node
+    owns.  Processing follows §II-A/§III: requests queue FIFO per
+    resource; a request is granted when it is compatible (per the Table II
+    LCM) with every granted lock and does not conflict with an
+    earlier-queued request (fairness — no starvation by later arrivals).
+
+    Conflict resolution revokes GRANTED conflicting locks with a one-way
+    callback.  Once the holder's revocation reply arrives the lock turns
+    CANCELING; with early grant (NBW modes) that is enough to grant the
+    waiting request, without waiting for the holder's data flushing and
+    release.  When a grant could not be expanded and a queued request
+    already conflicts with it, early revocation tags the grant CANCELING
+    so no callback round-trip will ever be needed for it.
+
+    Automatic lock conversion (upgrading) happens here too: a request
+    conflicting only with GRANTED locks of the same client is granted with
+    the join of the modes, merging those locks away ([replaces] in the
+    grant).  Downgrading is client-initiated via the control endpoint.
+
+    All handlers are non-blocking: deferred grants hold the RPC [reply]
+    and fire it from a later queue pass. *)
+
+type t
+
+type stats = {
+  mutable grants : int;
+  mutable early_grants : int;
+      (** grants that proceeded over CANCELING NBW conflicts *)
+  mutable early_revocations : int;  (** grants tagged CANCELING *)
+  mutable revokes_sent : int;
+  mutable upgrades : int;  (** grants whose mode was raised by conversion *)
+  mutable downgrades : int;
+  mutable releases : int;
+  mutable expansions : int;  (** grants whose range grew *)
+  mutable revocation_wait : float;
+      (** total time granted requests spent waiting for conflicting locks
+          to turn CANCELING (Fig. 17 part ①) *)
+  mutable release_wait : float;
+      (** total time spent waiting, after that, for flush + release
+          (Fig. 17 part ②) *)
+  mutable max_queue : int;
+}
+
+val create :
+  Dessim.Engine.t -> Netsim.Params.t -> node:Netsim.Node.t -> name:string ->
+  policy:Policy.t -> t
+
+val lock_endpoint : t -> (Types.request, Types.grant) Netsim.Rpc.endpoint
+val ctl_endpoint : t -> (Types.ctl_msg, unit) Netsim.Rpc.endpoint
+
+val register_client :
+  t -> Types.client_id -> (Types.server_msg, unit) Netsim.Rpc.endpoint -> unit
+(** Where to deliver revocation callbacks for this client. *)
+
+val min_unreleased_write_sn :
+  t -> Types.resource_id -> Ccpfs_util.Interval.t -> int option
+(** Minimum SN among unreleased write locks overlapping the range, or
+    [None] if there is none — the mSN query of the extent-cache cleanup
+    task (§IV-B): cache entries with SN <= mSN are reclaimable. *)
+
+val sync_resource : t -> Types.resource_id -> on_behalf:Types.client_id ->
+  reply:(unit -> unit) -> unit
+(** Force-synchronise all outstanding writes of a resource by queueing a
+    whole-range PR request (the extent-cache overflow fallback of §IV-B);
+    [reply] fires once every conflicting write lock has been released, and
+    the internal lock is dropped immediately. *)
+
+(** {1 Tracing}
+
+    An optional tracer observes every protocol step with its virtual
+    timestamp — the timeline the `ccpfs_run trace` command narrates. *)
+
+type trace_event =
+  | T_request of Types.request
+  | T_grant of Types.grant * [ `Normal | `Early ]
+  | T_revoke of { t_rid : Types.resource_id; t_lock_id : int;
+                  t_client : Types.client_id }
+  | T_ack of { t_rid : Types.resource_id; t_lock_id : int }
+  | T_release of { t_rid : Types.resource_id; t_lock_id : int }
+  | T_downgrade of { t_rid : Types.resource_id; t_lock_id : int;
+                     t_mode : Mode.t }
+
+val set_tracer : t -> (float -> trace_event -> unit) -> unit
+val pp_trace_event : Format.formatter -> trace_event -> unit
+
+(** {1 Server recovery (§IV-C2)}
+
+    A failed lock server loses its in-memory lock table.  Recovery first
+    gathers the grants still cached in clients and reinstalls them, then
+    restores each resource's sequence number above every SN it may ever
+    have issued (the maximum of the recovered locks' SNs and the SNs in
+    the data server's extent log). *)
+
+val crash : t -> unit
+(** Drop all lock state.  Only legal while no requests are queued (HPC
+    recovery happens between runs, §IV-C2); raises [Invalid_argument] if
+    a waiter would lose its reply. *)
+
+val reinstall :
+  t -> client:Types.client_id ->
+  locks:(Types.resource_id * int * Mode.t * Ccpfs_util.Interval.t list * int
+         * Lcm.lock_state) list -> unit
+(** Re-adopt one client's cached grants (id, mode, ranges, SN, state). *)
+
+val restore_sn_floor : t -> Types.resource_id -> int -> unit
+(** Ensure the resource's next SN is strictly greater than [sn]. *)
+
+(** {1 Introspection (tests and reports)} *)
+
+type lock_view = {
+  v_lock_id : int;
+  v_client : Types.client_id;
+  v_mode : Mode.t;
+  v_ranges : Ccpfs_util.Interval.t list;
+  v_sn : int;
+  v_state : Lcm.lock_state;
+}
+
+val granted_locks : t -> Types.resource_id -> lock_view list
+(** Sorted by lock id. *)
+
+val queue_length : t -> Types.resource_id -> int
+val next_sn : t -> Types.resource_id -> int
+val stats : t -> stats
+val policy : t -> Policy.t
+val node : t -> Netsim.Node.t
+
+val check_invariants : t -> unit
+(** Asserts that no two granted locks are mutually incompatible while both
+    GRANTED, and that write-lock SNs are unique per resource. *)

@@ -1,0 +1,64 @@
+open Ccpfs_util
+
+type client_id = int
+type resource_id = int
+
+type request = {
+  client : client_id;
+  rid : resource_id;
+  mode : Mode.t;
+  ranges : Interval.t list;
+}
+
+type grant = {
+  lock_id : int;
+  rid : resource_id;
+  client : client_id;
+  mode : Mode.t;
+  ranges : Interval.t list;
+  sn : int;
+  state : Lcm.lock_state;
+  replaces : int list;
+}
+
+type server_msg = Revoke of { rid : resource_id; lock_id : int }
+
+type ctl_msg =
+  | Revoke_ack of { rid : resource_id; lock_id : int }
+  | Downgrade of { rid : resource_id; lock_id : int; mode : Mode.t }
+  | Release of { rid : resource_id; lock_id : int }
+
+let ranges_hull = function
+  | [] -> invalid_arg "Types.ranges_hull: empty range list"
+  | r :: rest -> List.fold_left Interval.hull r rest
+
+let rec ranges_overlap a b =
+  match (a, b) with
+  | [], _ | _, [] -> false
+  | (x : Interval.t) :: xs, (y : Interval.t) :: ys ->
+      if Interval.overlaps x y then true
+      else if x.hi <= y.lo then ranges_overlap xs b
+      else ranges_overlap a ys
+
+let normalize_ranges ranges =
+  let sorted = List.sort Interval.compare ranges in
+  let rec merge = function
+    | a :: b :: rest when Interval.touches a b ->
+        merge (Interval.hull a b :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let pp_ranges ppf ranges =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+    Interval.pp ppf ranges
+
+let pp_request ppf (r : request) =
+  Format.fprintf ppf "req{c%d r%d %a %a}" r.client r.rid Mode.pp r.mode
+    pp_ranges r.ranges
+
+let pp_grant ppf g =
+  Format.fprintf ppf "grant{#%d c%d r%d %a %a sn%d %a}" g.lock_id g.client
+    g.rid Mode.pp g.mode pp_ranges g.ranges g.sn Lcm.pp_state g.state

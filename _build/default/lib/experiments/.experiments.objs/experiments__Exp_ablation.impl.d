@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Ccpfs Ccpfs_util Client Client_cache Cluster Config Data_server Harness List Printf Seqdlm Table Units Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig05.ml: Array Ccpfs Ccpfs_util Harness List Netsim Params Printf Seqdlm Table Units Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig17.ml: Array Ccpfs Ccpfs_util Client Cluster Dessim Float Harness List Mailbox Printf Seqdlm Table Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig18.ml: Array Ccpfs_util Float Harness List Printf Seqdlm Table Units Workloads

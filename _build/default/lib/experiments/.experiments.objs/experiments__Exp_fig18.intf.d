@@ -1,0 +1,1 @@
+lib/experiments/exp_fig18.mli:

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig20.ml: Ccpfs_util Exp_ior Harness List Netsim Params Printf Seqdlm Table Units Workloads

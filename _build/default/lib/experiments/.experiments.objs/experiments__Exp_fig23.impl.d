@@ -1,0 +1,1 @@
+lib/experiments/exp_fig23.ml: Ccpfs Ccpfs_util Client Harness Layout List Printf Seqdlm Table Units Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig24.ml: Ccpfs Ccpfs_util Client Cluster Dessim Harness Layout List Netsim Params Printf Semaphore Seqdlm Table Units Workloads

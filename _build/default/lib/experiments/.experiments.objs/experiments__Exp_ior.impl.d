@@ -1,0 +1,1 @@
+lib/experiments/exp_ior.ml: Array Harness Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_ior.mli: Harness Netsim Seqdlm Workloads

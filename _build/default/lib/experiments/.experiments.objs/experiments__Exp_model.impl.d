@@ -1,0 +1,1 @@
+lib/experiments/exp_model.ml: Analytic Array Ccpfs_util Harness List Netsim Params Printf Seqdlm Table Units Workloads

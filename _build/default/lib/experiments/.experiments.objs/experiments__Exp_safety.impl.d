@@ -1,0 +1,1 @@
+lib/experiments/exp_safety.ml: Array Ccpfs Ccpfs_util Client Cluster Content Harness Layout List Printf Table Units

@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Ccpfs_util Exp_ior Harness List Printf Seqdlm Table Units Workloads

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Array Ccpfs Ccpfs_util Client Cluster Float Format Layout List Printf Seqdlm Units Workloads

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_fig04 Exp_fig05 Exp_fig17 Exp_fig18 Exp_fig19 Exp_fig20 Exp_fig21 Exp_fig23 Exp_fig24 Exp_model Exp_safety Exp_table3 List Option Printf

@@ -1,0 +1,6 @@
+(** Ablations of the design choices DESIGN.md calls out: range-expansion
+    policy, early revocation across client counts, the extent-cache
+    cleanup threshold, flush-daemon thresholds, and sequencer reuse vs
+    CORFU-style per-write sequencing (§III-A1's comparison). *)
+
+val run : scale:float -> unit

@@ -1,0 +1,5 @@
+(** Fig. 4: the IO-pattern performance gap under a traditional DLM —
+    16 clients, 1 GB each, 1-stripe files on a 2 GB/s store; N-N and N-1
+    segmented ride the client cache while N-1 strided collapses. *)
+
+val run : scale:float -> unit

@@ -1,0 +1,6 @@
+(** Fig. 5: shrinking the data-flushing cost of the traditional DLM
+    recovers N-1 strided bandwidth — fakeWrite (no device cost) and the
+    first-page-only wire hack, confirming ③ of Eq. (1) is the
+    bottleneck and revocation (②) is next. *)
+
+val run : scale:float -> unit

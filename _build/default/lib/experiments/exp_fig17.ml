@@ -1,0 +1,58 @@
+open Ccpfs_util
+open Ccpfs
+open Dessim
+
+let clients = 16
+
+let run_seq ~mode ~xfer ~writes_each =
+  Harness.run_custom ~policy:Seqdlm.Policy.seqdlm ~servers:1 ~clients
+    (fun cl spawn ->
+      let eng = Cluster.engine cl in
+      let boxes = Array.init clients (fun _ -> Mailbox.create eng) in
+      for i = 0 to clients - 1 do
+        spawn i (Printf.sprintf "seq%d" i) (fun c ->
+            let f = Client.open_file c ~create:true "/seq" in
+            for _ = 1 to writes_each do
+              Mailbox.recv boxes.(i);
+              Client.write ~mode ~lock_whole_range:true c f ~off:0 ~len:xfer;
+              Mailbox.send boxes.((i + 1) mod clients) ()
+            done)
+      done;
+      Mailbox.send boxes.(0) ())
+    (fun _ r -> r)
+
+let run ~scale =
+  let writes_each = Harness.scaled ~scale 4000 in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig. 17: sequential-conflict time breakdown (16 clients, %d writes each)"
+           writes_each)
+      ~columns:
+        [ "write size"; "mode"; "total"; "1 revocation"; "2 cancel"; "3 others";
+          "(1+2)/total" ]
+  in
+  List.iter
+    (fun xfer ->
+      List.iter
+        (fun mode ->
+          let r = run_seq ~mode ~xfer ~writes_each in
+          let p1 = r.lock_stats.revocation_wait
+          and p2 = r.lock_stats.release_wait in
+          let p3 = Float.max 0. (r.pio -. p1 -. p2) in
+          Table.add_row tbl
+            [
+              Units.bytes_to_string xfer;
+              Seqdlm.Mode.to_string mode;
+              Units.seconds_to_string r.pio;
+              Units.seconds_to_string p1;
+              Units.seconds_to_string p2;
+              Units.seconds_to_string p3;
+              Printf.sprintf "%.1f%%" ((p1 +. p2) /. r.pio *. 100.);
+            ])
+        [ Seqdlm.Mode.PW; Seqdlm.Mode.NBW ])
+    [ 16 * Units.kib; 64 * Units.kib; 256 * Units.kib; Units.mib ];
+  Table.add_note tbl
+    "paper: PW spends 67.9-69.3% in conflict resolution, dominated by ② (flushing); NBW decouples it";
+  Table.print tbl

@@ -1,0 +1,7 @@
+(** Fig. 17: time breakdown of a totally-conflicting sequential write
+    sequence (16 clients round-robin, token-passing).  Parts: ① lock
+    revocation wait, ② lock cancel (data flushing + release) wait,
+    ③ everything else.  PW pays ①+② on the critical path; NBW's early
+    grant removes ② and early revocation removes ①. *)
+
+val run : scale:float -> unit

@@ -1,0 +1,64 @@
+open Ccpfs_util
+
+let clients = 16
+
+let run_conflicting ~policy ~mode ~xfer ~writes_each =
+  let streams =
+    Array.init clients (fun _ ->
+        ( "/conflict",
+          List.init writes_each (fun _ -> { Workloads.Access.off = 0; len = xfer })
+        ))
+  in
+  Harness.run_streams ~policy ~mode ~lock_whole_range:true ~servers:1 ~stripes:1
+    ~streams ()
+
+let run ~scale =
+  let writes_each = Harness.scaled ~scale 4000 in
+  let total_writes = clients * writes_each in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig. 18(a): lock-resource throughput under contention (16 clients x %d writes)"
+           writes_each)
+      ~columns:[ "write size"; "variant"; "writes/s"; "vs PW"; "locking/IO (Fig. 18b)" ]
+  in
+  List.iter
+    (fun xfer ->
+      let results =
+        List.map
+          (fun (label, policy, mode) ->
+            let r = run_conflicting ~policy ~mode ~xfer ~writes_each in
+            (label, r))
+          [
+            ("PW", Seqdlm.Policy.without_early_revocation Seqdlm.Policy.seqdlm,
+             Seqdlm.Mode.PW);
+            ("PW+ER", Seqdlm.Policy.seqdlm, Seqdlm.Mode.PW);
+            ("NBW", Seqdlm.Policy.without_early_revocation Seqdlm.Policy.seqdlm,
+             Seqdlm.Mode.NBW);
+            ("NBW+ER", Seqdlm.Policy.seqdlm, Seqdlm.Mode.NBW);
+          ]
+      in
+      let pw_tp =
+        match results with
+        | ("PW", r) :: _ -> float_of_int total_writes /. r.Harness.pio
+        | _ -> assert false
+      in
+      List.iter
+        (fun (label, (r : Harness.result)) ->
+          let tp = float_of_int total_writes /. r.pio in
+          Table.add_row tbl
+            [
+              Units.bytes_to_string xfer;
+              label;
+              Printf.sprintf "%.0f" tp;
+              Harness.speedup tp pw_tp;
+              Printf.sprintf "%.2f" (r.locking /. Float.max 1e-9 r.cache_io);
+            ])
+        results)
+    [ 64 * Units.kib; 256 * Units.kib; Units.mib ];
+  Table.add_note tbl
+    "paper: NBW(no ER) = 4.3x/30.3x over PW at 64K/1M; NBW+ER = 12.9x/40.2x; ER does not help PW";
+  Table.add_note tbl
+    "locking/IO ratio falls with write size for NBW (Fig. 18b)";
+  Table.print tbl

@@ -1,0 +1,6 @@
+(** Fig. 18: throughput of one lock resource under high contention —
+    16 clients independently issuing fully-conflicting writes — for NBW
+    vs PW, with and without early revocation; plus the locking/IO time
+    ratio. *)
+
+val run : scale:float -> unit

@@ -1,0 +1,104 @@
+open Ccpfs_util
+open Ccpfs
+
+let upgrading ~policy ~mode ~ops ~xfer =
+  Harness.run_custom ~policy ~servers:1 ~clients:1
+    (fun _cl spawn ->
+      spawn 0 "rw" (fun c ->
+          let f = Client.open_file c ~create:true "/mix" in
+          for k = 0 to ops - 1 do
+            if k mod 2 = 0 then Client.write ~mode c f ~off:0 ~len:xfer
+            else ignore (Client.read c f ~off:0 ~len:xfer)
+          done))
+    (fun _ r -> r)
+
+let downgrading ~policy ~mode ~writes_each ~xfer =
+  let clients = 16 in
+  let stripe_size = Units.mib in
+  Harness.run_custom ~policy ~servers:2 ~clients
+    (fun _cl spawn ->
+      let layout = Layout.v ~stripe_size ~stripe_count:2 () in
+      for i = 0 to clients - 1 do
+        spawn i (Printf.sprintf "w%d" i) (fun c ->
+            let f = Client.open_file c ~create:true ~layout "/span" in
+            (* every write straddles the stripe boundary *)
+            let off = stripe_size - (xfer / 2) in
+            for _ = 1 to writes_each do
+              Client.write ?mode c f ~off ~len:xfer
+            done)
+      done)
+    (fun _ r -> r)
+
+let run ~scale =
+  let ops = Harness.scaled ~scale 1000 in
+  let xfer = 64 * Units.kib in
+  let tbl_a =
+    Table.create
+      ~title:
+        (Printf.sprintf "Fig. 19(a): lock upgrading (%d interleaved reads/writes)"
+           ops)
+      ~columns:[ "variant"; "ops/s"; "server grants"; "upgrades" ]
+  in
+  List.iter
+    (fun (label, policy, mode) ->
+      let r = upgrading ~policy ~mode ~ops ~xfer in
+      Table.add_row tbl_a
+        [
+          label;
+          Printf.sprintf "%.0f" (float_of_int ops /. r.Harness.pio);
+          string_of_int r.lock_stats.grants;
+          string_of_int r.lock_stats.upgrades;
+        ])
+    [
+      ("PW", Seqdlm.Policy.seqdlm, Seqdlm.Mode.PW);
+      ("NBW+U", Seqdlm.Policy.seqdlm, Seqdlm.Mode.NBW);
+      ("NBW (no conversion)", Seqdlm.Policy.without_conversion Seqdlm.Policy.seqdlm,
+       Seqdlm.Mode.NBW);
+    ];
+  Table.add_note tbl_a
+    "paper: NBW+U upgrades once then matches PW; NBW without conversion thrashes";
+  Table.print tbl_a;
+
+  let writes_each = Harness.scaled ~scale 500 in
+  let tbl_b =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig. 19(b): lock downgrading (16 clients, writes spanning 2 stripes, %d each)"
+           writes_each)
+      ~columns:[ "write size"; "variant"; "writes/s"; "vs PW"; "downgrades" ]
+  in
+  List.iter
+    (fun xfer ->
+      let results =
+        List.map
+          (fun (label, policy, mode) ->
+            (label, downgrading ~policy ~mode ~writes_each ~xfer))
+          [
+            ("PW", Seqdlm.Policy.without_conversion Seqdlm.Policy.seqdlm,
+             Some Seqdlm.Mode.PW);
+            ("BW-D", Seqdlm.Policy.without_conversion Seqdlm.Policy.seqdlm, None);
+            ("BW+D", Seqdlm.Policy.seqdlm, None);
+          ]
+      in
+      let pw_tp =
+        match results with
+        | ("PW", r) :: _ -> float_of_int (16 * writes_each) /. r.Harness.pio
+        | _ -> assert false
+      in
+      List.iter
+        (fun (label, (r : Harness.result)) ->
+          let tp = float_of_int (16 * writes_each) /. r.pio in
+          Table.add_row tbl_b
+            [
+              Units.bytes_to_string xfer;
+              label;
+              Printf.sprintf "%.0f" tp;
+              Harness.speedup tp pw_tp;
+              string_of_int r.lock_stats.downgrades;
+            ])
+        results)
+    [ 64 * Units.kib; Units.mib ];
+  Table.add_note tbl_b
+    "paper: BW+D = 2.48x/9.40x over PW at 64K/1M; BW-D ~ PW";
+  Table.print tbl_b

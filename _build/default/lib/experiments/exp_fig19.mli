@@ -1,0 +1,12 @@
+(** Fig. 19: automatic lock conversion.
+
+    (a) Upgrading — one client interleaving reads and writes on a
+    1-stripe file: plain NBW thrashes against its own PR requests,
+    NBW+upgrading converges to a reusable PW, matching PW from the
+    start.
+
+    (b) Downgrading — 16 clients writing across two stripes: BW with
+    downgrading early-grants during the flush; without it BW behaves
+    like PW. *)
+
+val run : scale:float -> unit

@@ -1,0 +1,7 @@
+(** Figs. 20(a)+(b): IOR N-1 strided on a single-striped file,
+    16 clients — the headline single-resource result.  SeqDLM's strided
+    bandwidth approaches its own segmented bandwidth (up to ~18x over
+    the traditional DLMs), and its PIO time is a small slice of the
+    total IO time while the baselines' PIO is nearly all of it. *)
+
+val run : scale:float -> unit

@@ -1,0 +1,51 @@
+open Ccpfs_util
+
+let xfer_base = 47_008
+
+let run ~scale =
+  let clients = max 8 (Harness.scaled ~scale 96) in
+  let per_client = Harness.scaled ~scale (2 * Units.gib) in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig. 21/22: IOR N-1 strided, multi-stripe, %d clients x %s (1MiB stripes)"
+           clients
+           (Units.bytes_to_string per_client))
+      ~columns:
+        [ "stripes"; "write size"; "DLM"; "bandwidth"; "PIO"; "F"; "vs DLM-Lustre" ]
+  in
+  List.iter
+    (fun stripes ->
+      List.iter
+        (fun xfer ->
+          let rows =
+            List.map
+              (fun policy ->
+                ( policy.Seqdlm.Policy.name,
+                  Exp_ior.run ~policy ~pattern:Workloads.Access.N1_strided
+                    ~clients ~servers:stripes ~stripes ~xfer ~per_client () ))
+              [ Seqdlm.Policy.seqdlm; Seqdlm.Policy.dlm_basic;
+                Seqdlm.Policy.dlm_lustre ]
+          in
+          let lustre_bw = (List.assoc "DLM-Lustre" rows).Harness.bandwidth in
+          List.iter
+            (fun (label, (r : Harness.result)) ->
+              Table.add_row tbl
+                [
+                  string_of_int stripes;
+                  string_of_int xfer;
+                  label;
+                  Units.bandwidth_to_string r.bandwidth;
+                  Units.seconds_to_string r.pio;
+                  Units.seconds_to_string r.f;
+                  Harness.speedup r.bandwidth lustre_bw;
+                ])
+            rows)
+        [ xfer_base; 4 * xfer_base; 16 * xfer_base ])
+    [ 4; 8 ];
+  Table.add_note tbl
+    "paper: SeqDLM over DLM-Lustre = 3.6x (47008B) to 10.3x (16x) at 4 stripes; 2.0x to 6.2x at 8";
+  Table.add_note tbl
+    "writes are unaligned (4KiB lock alignment makes neighbours conflict); some span two stripes (BW + downgrade)";
+  Table.print tbl

@@ -1,0 +1,8 @@
+(** Figs. 21+22: IOR N-1 strided on multi-striped files (4 and 8
+    stripes), 96 clients, IO500-hard transfer sizes (47 008 bytes and
+    multiples — unaligned, so adjacent writes conflict and some writes
+    span two stripes, exercising BW + downgrading).  SeqDLM wins 3.6x to
+    10.3x (4 stripes) and 2.0x to 6.2x (8 stripes) over DLM-Lustre, with
+    a PIO time that is a small slice of the total (Fig. 22). *)
+
+val run : scale:float -> unit

@@ -1,0 +1,57 @@
+open Ccpfs_util
+open Ccpfs
+
+let run_tile ~policy ~grid ~stripes =
+  let n = Workloads.Tile_io.nclients grid in
+  Harness.run_custom ~policy ~servers:(min stripes 16) ~clients:n
+    (fun _cl spawn ->
+      let layout = Layout.v ~stripe_size:Units.mib ~stripe_count:stripes () in
+      for rank = 0 to n - 1 do
+        spawn rank (Printf.sprintf "tile%d" rank)
+          (fun c ->
+            let f = Client.open_file c ~create:true ~layout "/tiles" in
+            let ranges = Workloads.Tile_io.ranges grid ~rank in
+            Client.write_multi c f ~ranges)
+      done)
+    (fun _ r -> r)
+
+let run ~scale =
+  (* Preserve the 8x12 grid; scale the tile edge (20480 px at paper
+     scale). *)
+  let grid =
+    Workloads.Tile_io.scaled_grid Workloads.Tile_io.paper_grid ~scale
+  in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fig. 23: Tile-IO, %dx%d tiles of %dpx (overlap %d), %d clients, %s each"
+           grid.Workloads.Tile_io.rows grid.Workloads.Tile_io.cols
+           grid.Workloads.Tile_io.tile grid.Workloads.Tile_io.overlap
+           (Workloads.Tile_io.nclients grid)
+           (Units.bytes_to_string (Workloads.Tile_io.bytes_per_client grid)))
+      ~columns:
+        [ "stripes"; "DLM"; "bandwidth"; "PIO"; "F"; "SeqDLM speedup" ]
+  in
+  List.iter
+    (fun stripes ->
+      let seq = run_tile ~policy:Seqdlm.Policy.seqdlm ~grid ~stripes in
+      let dt = run_tile ~policy:Seqdlm.Policy.dlm_datatype ~grid ~stripes in
+      List.iter
+        (fun (label, (r : Harness.result)) ->
+          Table.add_row tbl
+            [
+              string_of_int stripes;
+              label;
+              Units.bandwidth_to_string r.bandwidth;
+              Units.seconds_to_string r.pio;
+              Units.seconds_to_string r.f;
+              (if label = "SeqDLM" then
+                 Harness.speedup r.bandwidth dt.Harness.bandwidth
+               else "");
+            ])
+        [ ("SeqDLM", seq); ("DLM-datatype", dt) ])
+    [ 1; 4; 16 ];
+  Table.add_note tbl
+    "paper: SeqDLM = 51.0x (1 stripe) to 4.1x (16 stripes) over DLM-datatype";
+  Table.print tbl

@@ -1,0 +1,8 @@
+(** Figs. 24+25: VPIC-IO (h5bench) — 1 280 processes on 80 client nodes
+    writing particle variables into a shared HDF5-style file through an
+    IO-forwarding layer (16 processes funnel into 8 daemon threads per
+    node), 16 data servers, 1/4/16 stripes, 256 KiB and 1 MiB writes.
+    ccPFS-SeqDLM vs ccPFS-DLM-Lustre vs Lustre-IOF; plus the PIO/F time
+    split of Fig. 25. *)
+
+val run : scale:float -> unit

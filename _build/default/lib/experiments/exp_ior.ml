@@ -1,0 +1,9 @@
+let run ?params ~policy ~pattern ~clients ~servers ~stripes ~xfer ~per_client
+    () =
+  let blocks = Workloads.Ior.blocks_for_total ~total:per_client ~xfer in
+  let streams =
+    Array.init clients (fun rank ->
+        ( Workloads.Ior.file_of_rank ~pattern ~rank,
+          Workloads.Ior.accesses ~pattern ~nprocs:clients ~rank ~xfer ~blocks ))
+  in
+  Harness.run_streams ?params ~policy ~servers ~stripes ~streams ()

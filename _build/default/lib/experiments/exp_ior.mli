@@ -1,0 +1,7 @@
+(** Shared IOR runner for Table III and Figs. 20-22: run a pattern on a
+    shared striped file under a policy and report the paper's metrics. *)
+
+val run :
+  ?params:Netsim.Params.t -> policy:Seqdlm.Policy.t ->
+  pattern:Workloads.Access.pattern -> clients:int -> servers:int ->
+  stripes:int -> xfer:int -> per_client:int -> unit -> Harness.result

@@ -1,0 +1,5 @@
+(** §II-C reproduction: evaluate terms ①②③ of Eq. (1) on Table I
+    parameters, show ③ dominates, and cross-validate the closed form
+    against the simulator on a small fully-conflicting PW run. *)
+
+val run : scale:float -> unit

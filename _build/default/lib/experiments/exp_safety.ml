@@ -1,0 +1,92 @@
+open Ccpfs_util
+open Ccpfs
+
+let ior_hard_check ~stripes ~clients ~blocks =
+  let xfer = 47_008 in
+  let errors = ref 0 in
+  Harness.run_custom ~servers:(max 1 (stripes / 2)) ~clients
+    (fun _cl spawn ->
+      let layout = Layout.v ~stripe_size:Units.mib ~stripe_count:stripes () in
+      for i = 0 to clients - 1 do
+        spawn i (Printf.sprintf "w%d" i) (fun c ->
+            let f = Client.open_file c ~create:true ~layout "/ior-hard" in
+            for k = 0 to blocks - 1 do
+              Client.write c f ~off:(((k * clients) + i) * xfer) ~len:xfer
+            done)
+      done)
+    (fun cl _ ->
+      for j = 0 to clients - 1 do
+        Cluster.spawn_client cl j ~name:(Printf.sprintf "r%d" j) (fun c ->
+            let f = Client.open_file c "/ior-hard" in
+            let owner = (j + 1) mod clients in
+            for k = 0 to blocks - 1 do
+              Client.read c f ~off:(((k * clients) + owner) * xfer) ~len:xfer
+              |> List.iter (fun (_, _, tag) ->
+                     match tag with
+                     | Some t when t.Content.writer = owner -> ()
+                     | Some _ | None -> incr errors)
+            done)
+      done;
+      Cluster.run cl;
+      !errors = 0)
+
+let overlap_check ~stripes ~clients =
+  let len = 512 * Units.kib in
+  Harness.run_custom ~servers:1 ~clients
+    (fun _cl spawn ->
+      let layout =
+        Layout.v ~stripe_size:(256 * Units.kib) ~stripe_count:stripes ()
+      in
+      for i = 0 to clients - 1 do
+        spawn i (Printf.sprintf "w%d" i) (fun c ->
+            let f = Client.open_file c ~create:true ~layout "/overlap" in
+            Client.write c f ~off:0 ~len;
+            Client.write c f ~off:0 ~len)
+      done)
+    (fun cl _ ->
+      let sums = Array.make clients 0 in
+      for i = 0 to clients - 1 do
+        Cluster.spawn_client cl i ~name:(Printf.sprintf "r%d" i) (fun c ->
+            let f = Client.open_file c "/overlap" in
+            sums.(i) <- Client.read_checksum c f ~off:0 ~len)
+      done;
+      Cluster.run cl;
+      Array.for_all (fun s -> s = sums.(0)) sums)
+
+let run ~scale =
+  let clients = 16 in
+  let blocks = Harness.scaled ~scale 100 in
+  let tbl =
+    Table.create ~title:"§V-B1 data safety (write-write conflicts)"
+      ~columns:[ "workload"; "stripes"; "repetitions"; "result" ]
+  in
+  List.iter
+    (fun stripes ->
+      let ok = ior_hard_check ~stripes ~clients ~blocks in
+      Table.add_row tbl
+        [
+          "IO500 ior-hard write+readback";
+          string_of_int stripes;
+          "1";
+          (if ok then "PASS" else "FAIL");
+        ])
+    [ 1; 2; 4 ];
+  List.iter
+    (fun stripes ->
+      let reps = max 1 (Harness.scaled ~scale 10) in
+      let ok = ref true in
+      for _ = 1 to reps do
+        if not (overlap_check ~stripes ~clients) then ok := false
+      done;
+      Table.add_row tbl
+        [
+          (if stripes = 1 then "overlapping writes (NBW)"
+           else "overlapping writes (BW + conversion)");
+          string_of_int stripes;
+          string_of_int reps;
+          (if !ok then "PASS" else "FAIL");
+        ])
+    [ 1; 2 ];
+  Table.add_note tbl
+    "paper: always correct; final contents equal some client's second write";
+  Table.print tbl

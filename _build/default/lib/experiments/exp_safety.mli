@@ -1,0 +1,6 @@
+(** §V-B1 data safety at experiment scale: the IO500 ior-hard
+    write-then-readback check (1/2/4 stripes) and the Fig. 7
+    overlapping-writes checksum comparison (1 and 2 stripes, repeated),
+    printed as PASS/FAIL rows. *)
+
+val run : scale:float -> unit

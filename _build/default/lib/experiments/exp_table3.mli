@@ -1,0 +1,6 @@
+(** Table III: IOR N-1 segmented, 64 KiB transfers, one stripe,
+    16 clients — low contention.  SeqDLM must match DLM-basic and
+    DLM-Lustre in both PIO bandwidth and total IO time (sequencer
+    ordering costs nothing when uncontended). *)
+
+val run : scale:float -> unit

@@ -1,0 +1,82 @@
+open Ccpfs_util
+open Ccpfs
+
+type result = {
+  pio : float;
+  f : float;
+  bytes : int;
+  bandwidth : float;
+  locking : float;
+  cache_io : float;
+  lock_stats : Seqdlm.Lock_server.stats;
+  ops : int;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "pio=%s f=%s bw=%s locking=%s"
+    (Units.seconds_to_string r.pio)
+    (Units.seconds_to_string r.f)
+    (Units.bandwidth_to_string r.bandwidth)
+    (Units.seconds_to_string r.locking)
+
+let collect cl ~pio ~f =
+  let bytes = Cluster.total_bytes_written cl in
+  {
+    pio;
+    f;
+    bytes;
+    bandwidth = (if pio > 0. then float_of_int bytes /. pio else 0.);
+    locking = Cluster.total_locking_seconds cl;
+    cache_io = Cluster.total_cache_seconds cl;
+    lock_stats = Cluster.sum_lock_stats cl;
+    ops =
+      (let n = ref 0 in
+       for i = 0 to Cluster.n_clients cl - 1 do
+         n := !n + Client.ops (Cluster.client cl i)
+       done;
+       !n);
+  }
+
+type spawn = int -> string -> (Client.t -> unit) -> unit
+
+let run_custom ?params ?config ?policy ~servers ~clients setup k =
+  let cl = Cluster.create ?params ?config ?policy ~n_servers:servers
+      ~n_clients:clients ()
+  in
+  (* PIO ends when the last application process finishes; lock-cancel
+     flushing still running then is background work the application
+     never sees, charged to the F phase. *)
+  let writers_done = ref 0. in
+  let spawn i name body =
+    Cluster.spawn_client cl i ~name (fun c ->
+        body c;
+        if Cluster.now cl > !writers_done then writers_done := Cluster.now cl)
+  in
+  setup cl spawn;
+  Cluster.run cl;
+  let pio = !writers_done in
+  Cluster.fsync_all cl;
+  let f = Cluster.now cl -. pio in
+  Cluster.check_invariants cl;
+  k cl (collect cl ~pio ~f)
+
+let run_streams ?params ?config ?policy ?mode ?lock_whole_range
+    ?(stripe_size = Units.mib) ~servers ~stripes ~streams () =
+  run_custom ?params ?config ?policy ~servers ~clients:(Array.length streams)
+    (fun _cl spawn ->
+      Array.iteri
+        (fun i (path, accesses) ->
+          spawn i (Printf.sprintf "w%d" i) (fun c ->
+              let layout = Layout.v ~stripe_size ~stripe_count:stripes () in
+              let f = Client.open_file c ~create:true ~layout path in
+              List.iter
+                (fun (a : Workloads.Access.t) ->
+                  Client.write ?mode ?lock_whole_range c f ~off:a.off ~len:a.len)
+                accesses))
+        streams)
+    (fun _ r -> r)
+
+let scaled ~scale n =
+  max 1 (int_of_float (Float.round (float_of_int n *. scale)))
+
+let speedup a b = Printf.sprintf "%.1fx" (a /. b)

@@ -1,0 +1,1 @@
+lib/net/params.ml: Ccpfs_util Format

@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Dessim Engine Ivar Node Option Params Resource

@@ -1,0 +1,62 @@
+open Dessim
+
+type ('req, 'resp) endpoint = {
+  eng : Engine.t;
+  params : Params.t;
+  node : Node.t;
+  name : string;
+  handler : 'req -> reply:('resp -> unit) -> unit;
+  mutable count : int;
+}
+
+let endpoint eng params ~node ~name ~handler =
+  { eng; params; node; name; handler; count = 0 }
+
+(* Request journey, run in the context of some process: propagation, then
+   the server's NIC pipe, then its RPC processor. *)
+let pipe_for node params bytes =
+  if bytes > params.Params.bulk_threshold then Node.rx node
+  else Node.ctl_rx node
+
+let inbound t bytes =
+  Engine.sleep t.eng (t.params.Params.rtt /. 2.);
+  Node.add_net_bytes t.node bytes;
+  Resource.consume (pipe_for t.node t.params bytes) (float_of_int bytes);
+  Resource.consume (Node.ops t.node) 1.;
+  Node.incr_rpc t.node;
+  t.count <- t.count + 1
+
+(* Reply journey: a courier carries it back to [src] and fills the ivar. *)
+let reply_courier t ~src ~resp_bytes ivar resp =
+  Engine.spawn t.eng ~name:(t.name ^ ".reply")
+    (fun () ->
+      Engine.sleep t.eng (t.params.Params.rtt /. 2.);
+      Node.add_net_bytes src resp_bytes;
+      Resource.consume (pipe_for src t.params resp_bytes) (float_of_int resp_bytes);
+      Ivar.fill ivar resp)
+
+let call_async t ~src ?req_bytes ?resp_bytes req =
+  let req_bytes = Option.value req_bytes ~default:t.params.Params.ctl_msg_bytes in
+  let resp_bytes =
+    Option.value resp_bytes ~default:t.params.Params.ctl_msg_bytes
+  in
+  let ivar = Ivar.create t.eng in
+  Engine.spawn t.eng ~name:(t.name ^ ".req")
+    (fun () ->
+      inbound t req_bytes;
+      t.handler req ~reply:(fun resp ->
+          reply_courier t ~src ~resp_bytes ivar resp));
+  ivar
+
+let call t ~src ?req_bytes ?resp_bytes req =
+  Ivar.read (call_async t ~src ?req_bytes ?resp_bytes req)
+
+let notify t ~src ?req_bytes req =
+  let req_bytes = Option.value req_bytes ~default:t.params.Params.ctl_msg_bytes in
+  ignore src;
+  Engine.spawn t.eng ~name:(t.name ^ ".notify")
+    (fun () ->
+      inbound t req_bytes;
+      t.handler req ~reply:(fun () -> ()))
+
+let calls t = t.count

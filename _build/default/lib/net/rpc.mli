@@ -1,0 +1,47 @@
+(** Simulated RPC transport (the CaRT/Mercury stand-in).
+
+    The cost of an RPC to a server is exactly the paper's model: half an
+    RTT of propagation, payload occupancy of the server's inbound NIC pipe
+    (size / B_net, FIFO), one operation of the server's RPC processor
+    (1 / OPS, FIFO — what bounds term ① of Eq. 1) and, for the reply,
+    another half RTT plus payload occupancy of the caller's NIC.
+
+    Each request runs its handler in a dedicated courier process, so a
+    handler may block on simulated resources (a data server's write
+    handler occupies the disk before replying) without stalling the
+    server's other requests beyond the FIFO resources it holds.  A handler
+    either calls [reply] before returning or stores it and fires it later
+    (how lock servers defer grants during conflict resolution).  Deferred
+    or not, the reply's network cost is charged when [reply] runs.
+
+    One-way notifications ({!notify}) model the server→client callbacks of
+    the lock protocol (revocations); they never block the sender. *)
+
+type ('req, 'resp) endpoint
+
+val endpoint :
+  Dessim.Engine.t -> Params.t -> node:Node.t -> name:string ->
+  handler:('req -> reply:('resp -> unit) -> unit) ->
+  ('req, 'resp) endpoint
+(** Register a service on [node].  [handler] is invoked after the
+    request's transport + service costs have been paid. *)
+
+val call :
+  ('req, 'resp) endpoint -> src:Node.t -> ?req_bytes:int -> ?resp_bytes:int ->
+  'req -> 'resp
+(** Synchronous call from a process on [src]; blocks until the reply
+    arrives.  Payload sizes default to [ctl_msg_bytes]. *)
+
+val call_async :
+  ('req, 'resp) endpoint -> src:Node.t -> ?req_bytes:int -> ?resp_bytes:int ->
+  'req -> 'resp Dessim.Ivar.t
+(** Like {!call} but returns immediately with the reply ivar; the request
+    journey is modelled by a courier process. *)
+
+val notify :
+  ('req, unit) endpoint -> src:Node.t -> ?req_bytes:int -> 'req -> unit
+(** Fire-and-forget message; transport and service costs are paid by a
+    courier process, the caller continues immediately. *)
+
+val calls : ('req, 'resp) endpoint -> int
+(** Requests that reached the handler so far. *)

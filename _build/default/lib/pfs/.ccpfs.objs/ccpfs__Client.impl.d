@@ -1,0 +1,1 @@
+lib/pfs/client.ml: Ccpfs_util Client_cache Config Content Data_server Dessim Engine Hashtbl Int Interval Layout List Lock_client Meta_server Mode Netsim Node Option Params Policy Rpc Seqdlm Types

@@ -1,0 +1,1 @@
+lib/pfs/client.mli: Ccpfs_util Client_cache Config Data_server Dessim Layout Meta_server Netsim Seqdlm

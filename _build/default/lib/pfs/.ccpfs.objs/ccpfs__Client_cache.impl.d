@@ -1,0 +1,1 @@
+lib/pfs/client_cache.ml: Ccpfs_util Condition Config Content Data_server Dessim Engine Extent_map Hashtbl Int Interval List Netsim Node Params Printf Resource Rpc

@@ -1,0 +1,1 @@
+lib/pfs/client_cache.mli: Ccpfs_util Config Data_server Dessim Netsim

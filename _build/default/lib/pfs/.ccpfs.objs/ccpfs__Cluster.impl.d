@@ -1,0 +1,1 @@
+lib/pfs/cluster.ml: Array Client Client_cache Config Data_server Dessim Engine Layout List Meta_server Netsim Node Params Printf Seqdlm

@@ -1,0 +1,1 @@
+lib/pfs/cluster.mli: Ccpfs_util Client Config Data_server Dessim Meta_server Netsim Seqdlm

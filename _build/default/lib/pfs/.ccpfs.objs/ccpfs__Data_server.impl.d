@@ -1,0 +1,1 @@
+lib/pfs/data_server.ml: Ccpfs_util Condition Config Content Dessim Engine Extent_map Hashtbl Int Interval List Netsim Node Option Params Resource Rpc Seqdlm

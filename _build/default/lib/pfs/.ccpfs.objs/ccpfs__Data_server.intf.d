@@ -1,0 +1,1 @@
+lib/pfs/data_server.mli: Ccpfs_util Config Dessim Netsim Seqdlm

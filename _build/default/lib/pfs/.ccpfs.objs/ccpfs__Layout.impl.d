@@ -1,0 +1,1 @@
+lib/pfs/layout.ml: Array Ccpfs_util Interval List Seqdlm Units

@@ -1,0 +1,1 @@
+lib/pfs/layout.mli: Ccpfs_util

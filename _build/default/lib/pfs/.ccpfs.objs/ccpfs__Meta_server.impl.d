@@ -1,0 +1,1 @@
+lib/pfs/meta_server.ml: Hashtbl Layout Netsim Option

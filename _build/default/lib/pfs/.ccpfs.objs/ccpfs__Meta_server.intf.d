@@ -1,0 +1,1 @@
+lib/pfs/meta_server.mli: Dessim Layout Netsim

@@ -1,0 +1,235 @@
+open Ccpfs_util
+open Dessim
+open Netsim
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  config : Config.t;
+  node : Node.t;
+  client_id : int;
+  io_route : int -> (Data_server.io_req, Data_server.io_resp) Rpc.endpoint;
+  dirty : (int, Content.tag Extent_map.t ref) Hashtbl.t;
+  clean : (int, Content.tag option Extent_map.t ref) Hashtbl.t;
+  mutable clean_total : int;
+  mutable r_hits : int;
+  mutable r_misses : int;
+  mutable dirty_total : int;
+  mutable peak : int;
+  space : Condition.t; (* signalled when dirty bytes shrink *)
+  work : Condition.t; (* wakes the voluntary flush daemon *)
+  mutable cache_seconds : float;
+  mutable flushed_bytes : int;
+  mutable n_flush_rpcs : int;
+}
+
+let rid_map t rid =
+  match Hashtbl.find_opt t.dirty rid with
+  | Some m -> m
+  | None ->
+      let m = ref Extent_map.empty in
+      Hashtbl.add t.dirty rid m;
+      m
+
+let account t delta =
+  t.dirty_total <- t.dirty_total + delta;
+  if t.dirty_total > t.peak then t.peak <- t.dirty_total;
+  if delta < 0 then Condition.broadcast t.space
+
+(* Take the dirty extents under [ranges] out of the cache and ship them
+   in one batched flush RPC. *)
+let flush t ~rid ~ranges =
+  let m = rid_map t rid in
+  let blocks =
+    List.concat_map
+      (fun range ->
+        List.map
+          (fun (iv, tag) ->
+            { Data_server.b_range = iv; b_sn = tag.Content.sn; b_tag = tag })
+          (Extent_map.overlapping !m range))
+      ranges
+  in
+  if blocks <> [] then begin
+    List.iter
+      (fun (b : Data_server.block) ->
+        m := Extent_map.remove !m b.b_range;
+        account t (-Interval.length b.b_range))
+      blocks;
+    let bytes =
+      List.fold_left
+        (fun acc (b : Data_server.block) -> acc + Interval.length b.b_range)
+        0 blocks
+    in
+    t.flushed_bytes <- t.flushed_bytes + bytes;
+    t.n_flush_rpcs <- t.n_flush_rpcs + 1;
+    let wire_bytes =
+      if t.config.Config.flush_wire_page_only then min bytes t.config.Config.page
+      else bytes
+    in
+    match
+      Rpc.call (t.io_route rid) ~src:t.node ~req_bytes:wire_bytes
+        (Data_server.Write_flush { rid; blocks })
+    with
+    | Data_server.Done -> ()
+    | Data_server.Data _ -> assert false
+  end
+
+let flush_all t =
+  let rids = Hashtbl.fold (fun rid _ acc -> rid :: acc) t.dirty [] in
+  List.iter
+    (fun rid -> flush t ~rid ~ranges:[ Interval.to_eof ~lo:0 ])
+    (List.sort Int.compare rids)
+
+let flush_daemon t () =
+  while true do
+    Engine.sleep t.eng t.config.Config.flush_period;
+    if t.dirty_total > t.config.Config.dirty_min then
+      (* Voluntary flushing: drain whole stripes until under the
+         threshold, largest first. *)
+      let by_size =
+        Hashtbl.fold
+          (fun rid m acc ->
+            let bytes =
+              Extent_map.fold (fun iv _ a -> a + Interval.length iv) !m 0
+            in
+            if bytes > 0 then (bytes, rid) :: acc else acc)
+          t.dirty []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+      in
+      List.iter
+        (fun (_, rid) ->
+          if t.dirty_total > t.config.Config.dirty_min then
+            flush t ~rid ~ranges:[ Interval.to_eof ~lo:0 ])
+        by_size
+  done
+
+let create eng params config ~node ~client_id ~io_route =
+  let t =
+    {
+      eng; params; config; node; client_id; io_route;
+      dirty = Hashtbl.create 16;
+      clean = Hashtbl.create 16;
+      clean_total = 0;
+      r_hits = 0;
+      r_misses = 0;
+      dirty_total = 0;
+      peak = 0;
+      space = Condition.create eng;
+      work = Condition.create eng;
+      cache_seconds = 0.;
+      flushed_bytes = 0;
+      n_flush_rpcs = 0;
+    }
+  in
+  Engine.spawn eng ~daemon:true
+    ~name:(Printf.sprintf "c%d.flushd" client_id)
+    (flush_daemon t);
+  t
+
+let write t ~rid ~range ~sn ~op =
+  (* Forced-flush backpressure (§IV-C1): block while the cache is full. *)
+  Condition.wait_until t.space (fun () ->
+      t.dirty_total < t.config.Config.dirty_max);
+  let t0 = Engine.now t.eng in
+  Resource.consume (Node.mem t.node) (float_of_int (Interval.length range));
+  t.cache_seconds <- t.cache_seconds +. (Engine.now t.eng -. t0);
+  let m = rid_map t rid in
+  let tag = { Content.writer = t.client_id; op; sn } in
+  let covered =
+    List.fold_left
+      (fun acc (iv, _) -> acc + Interval.length iv)
+      0
+      (Extent_map.overlapping !m range)
+  in
+  let m', _ = Extent_map.merge !m range tag ~keep_new:(fun ~old -> sn >= old.Content.sn) in
+  m := m';
+  (* Keep the clean cache coherent with our own writes, otherwise a read
+     after the dirty data has been flushed away would see the pre-write
+     version. *)
+  (match Hashtbl.find_opt t.clean rid with
+  | Some cm when not (Extent_map.is_empty !cm) ->
+      cm := Extent_map.set !cm range (Some tag)
+  | Some _ | None -> ());
+  account t (Interval.length range - covered);
+  Condition.broadcast t.work
+
+let has_dirty t ~rid ~ranges =
+  match Hashtbl.find_opt t.dirty rid with
+  | None -> false
+  | Some m ->
+      List.exists (fun range -> Extent_map.overlapping !m range <> []) ranges
+
+let local_view t ~rid ~range =
+  match Hashtbl.find_opt t.dirty rid with
+  | None -> []
+  | Some m -> Extent_map.overlapping !m range
+
+let clean_map t rid =
+  match Hashtbl.find_opt t.clean rid with
+  | Some m -> m
+  | None ->
+      let m = ref Extent_map.empty in
+      Hashtbl.add t.clean rid m;
+      m
+
+let store_clean t ~rid segments =
+  let m = clean_map t rid in
+  List.iter
+    (fun (iv, tag) ->
+      t.clean_total <- t.clean_total + Interval.length iv;
+      m := Extent_map.set !m iv tag)
+    segments
+
+let clean_covers t ~rid ~range =
+  match Hashtbl.find_opt t.clean rid with
+  | None -> false
+  | Some m ->
+      let covers = Extent_map.covered !m range in
+      if covers then t.r_hits <- t.r_hits + 1 else t.r_misses <- t.r_misses + 1;
+      covers
+
+let clean_view t ~rid ~range =
+  match Hashtbl.find_opt t.clean rid with
+  | None -> []
+  | Some m -> Extent_map.overlapping !m range
+
+let invalidate_clean t ~rid ~ranges =
+  match Hashtbl.find_opt t.clean rid with
+  | None -> ()
+  | Some m ->
+      List.iter
+        (fun range ->
+          List.iter
+            (fun (iv, _) ->
+              t.clean_total <- t.clean_total - Interval.length iv)
+            (Extent_map.overlapping !m range);
+          m := Extent_map.remove !m range)
+        ranges
+
+let drop_clean t ~rid ~range =
+  invalidate_clean t ~rid ~ranges:[ range ];
+  let m = rid_map t rid in
+  let covered =
+    List.fold_left
+      (fun acc (iv, _) -> acc + Interval.length iv)
+      0
+      (Extent_map.overlapping !m range)
+  in
+  m := Extent_map.remove !m range;
+  account t (-covered)
+
+let lose_all_dirty t =
+  let lost = t.dirty_total in
+  Hashtbl.iter (fun _ m -> m := Extent_map.empty) t.dirty;
+  t.dirty_total <- 0;
+  Condition.broadcast t.space;
+  lost
+
+let clean_bytes t = t.clean_total
+let read_cache_hits t = t.r_hits
+let read_cache_misses t = t.r_misses
+let dirty_bytes t = t.dirty_total
+let dirty_peak t = t.peak
+let cache_write_seconds t = t.cache_seconds
+let bytes_flushed t = t.flushed_bytes
+let flush_rpcs t = t.n_flush_rpcs

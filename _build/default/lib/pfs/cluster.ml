@@ -1,0 +1,161 @@
+open Dessim
+open Netsim
+module Lock_server = Seqdlm.Lock_server
+
+type server = {
+  s_node : Node.t;
+  s_lock : Seqdlm.Lock_server.t;
+  s_data : Data_server.t;
+}
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  config : Config.t;
+  policy : Seqdlm.Policy.t;
+  meta : Meta_server.t;
+  servers : server array;
+  clients : Client.t array;
+}
+
+let create ?(params = Params.default) ?(config = Config.default)
+    ?(policy = Seqdlm.Policy.seqdlm) ~n_servers ~n_clients () =
+  if n_servers <= 0 || n_clients <= 0 then
+    invalid_arg "Cluster.create: need at least one server and one client";
+  let eng = Engine.create () in
+  let meta_node = Node.create eng params ~name:"meta" () in
+  let meta = Meta_server.create eng params ~node:meta_node in
+  let servers =
+    Array.init n_servers (fun i ->
+        let s_node =
+          Node.create eng params ~name:(Printf.sprintf "ds%d" i) ~with_disk:true
+            ()
+        in
+        let s_lock =
+          Lock_server.create eng params ~node:s_node
+            ~name:(Printf.sprintf "ls%d" i) ~policy
+        in
+        let s_data =
+          Data_server.create eng params config ~node:s_node
+            ~name:(Printf.sprintf "ds%d" i) ~lock_server:s_lock
+        in
+        { s_node; s_lock; s_data })
+  in
+  let server_of_rid rid = rid mod n_servers in
+  let lock_route rid = servers.(server_of_rid rid).s_lock in
+  let io_route rid = Data_server.endpoint servers.(server_of_rid rid).s_data in
+  let clients =
+    Array.init n_clients (fun i ->
+        let node = Node.create eng params ~name:(Printf.sprintf "c%d" i) () in
+        Client.create eng params config ~node ~client_id:i
+          ~meta:(Meta_server.endpoint meta) ~lock_route ~io_route ~policy)
+  in
+  { eng; params; config; policy; meta; servers; clients }
+
+let engine t = t.eng
+let params t = t.params
+let config t = t.config
+let policy t = t.policy
+let n_clients t = Array.length t.clients
+let n_servers t = Array.length t.servers
+let client t i = t.clients.(i)
+let server_of_rid t rid = rid mod Array.length t.servers
+let data_server t i = t.servers.(i).s_data
+let lock_server t i = t.servers.(i).s_lock
+let meta t = t.meta
+
+let spawn_client t i ~name f =
+  Engine.spawn t.eng ~name (fun () -> f t.clients.(i))
+
+let run ?until t = Engine.run ?until t.eng
+let now t = Engine.now t.eng
+
+let fsync_all t =
+  Array.iteri
+    (fun i c ->
+      Engine.spawn t.eng ~name:(Printf.sprintf "fsync%d" i) (fun () ->
+          Client.fsync c))
+    t.clients;
+  Engine.run t.eng
+
+let crash_and_recover_server t i =
+  let s = t.servers.(i) in
+  let owned rid = server_of_rid t rid = i in
+  (* (2) first: the extent-log replay also tells us the SN floor. *)
+  Data_server.crash_and_rebuild s.s_data;
+  (* (1) lose and regather the lock table. *)
+  Lock_server.crash s.s_lock;
+  Array.iter
+    (fun c ->
+      let lc = Client.lock_client c in
+      let locks =
+        Seqdlm.Lock_client.locks_for_recovery lc ~owned
+        |> List.map (fun (r : Seqdlm.Lock_client.recovery_lock) ->
+               (r.r_rid, r.r_lock_id, r.r_mode, r.r_ranges, r.r_sn, r.r_state))
+      in
+      Lock_server.reinstall s.s_lock
+        ~client:(Seqdlm.Lock_client.client_id lc)
+        ~locks)
+    t.clients;
+  (* (3) SN floors from the durable extent logs — for every stripe the
+     server ever wrote, not only those with surviving locks. *)
+  List.iter
+    (fun rid ->
+      match Data_server.max_logged_sn s.s_data rid with
+      | Some sn -> Lock_server.restore_sn_floor s.s_lock rid sn
+      | None -> ())
+    (Data_server.stripe_rids s.s_data);
+  Lock_server.check_invariants s.s_lock
+
+let total_locking_seconds t =
+  Array.fold_left
+    (fun acc c -> acc +. Seqdlm.Lock_client.locking_seconds (Client.lock_client c))
+    0. t.clients
+
+let total_cache_seconds t =
+  Array.fold_left
+    (fun acc c -> acc +. Client_cache.cache_write_seconds (Client.cache c))
+    0. t.clients
+
+let total_io_seconds t =
+  Array.fold_left (fun acc c -> acc +. Client.io_seconds c) 0. t.clients
+
+let total_bytes_written t =
+  Array.fold_left (fun acc c -> acc + Client.bytes_written c) 0 t.clients
+
+let sum_lock_stats t =
+  let acc : Seqdlm.Lock_server.stats =
+    {
+      grants = 0; early_grants = 0; early_revocations = 0; revokes_sent = 0;
+      upgrades = 0; downgrades = 0; releases = 0; expansions = 0;
+      revocation_wait = 0.; release_wait = 0.; max_queue = 0;
+    }
+  in
+  Array.iter
+    (fun s ->
+      let st = Seqdlm.Lock_server.stats s.s_lock in
+      acc.grants <- acc.grants + st.grants;
+      acc.early_grants <- acc.early_grants + st.early_grants;
+      acc.early_revocations <- acc.early_revocations + st.early_revocations;
+      acc.revokes_sent <- acc.revokes_sent + st.revokes_sent;
+      acc.upgrades <- acc.upgrades + st.upgrades;
+      acc.downgrades <- acc.downgrades + st.downgrades;
+      acc.releases <- acc.releases + st.releases;
+      acc.expansions <- acc.expansions + st.expansions;
+      acc.revocation_wait <- acc.revocation_wait +. st.revocation_wait;
+      acc.release_wait <- acc.release_wait +. st.release_wait;
+      acc.max_queue <- max acc.max_queue st.max_queue)
+    t.servers;
+  acc
+
+let total_disk_bytes t =
+  Array.fold_left
+    (fun acc s -> acc + Node.disk_bytes_written s.s_node)
+    0 t.servers
+
+let check_invariants t =
+  Array.iter (fun s -> Seqdlm.Lock_server.check_invariants s.s_lock) t.servers
+
+let stripe_contents t file ~stripe =
+  let rid = Layout.rid ~fid:(Client.fid file) ~stripe in
+  Data_server.contents t.servers.(server_of_rid t rid).s_data rid

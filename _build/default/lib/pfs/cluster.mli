@@ -1,0 +1,59 @@
+(** Assembly of a whole simulated ccPFS deployment: a metadata node, data
+    servers (each running an IO service and the DLM service for its
+    stripes), and clients.  Stripes are distributed to servers by hashing
+    the resource id (§IV), here [rid mod n_servers]. *)
+
+type t
+
+val create :
+  ?params:Netsim.Params.t -> ?config:Config.t ->
+  ?policy:Seqdlm.Policy.t -> n_servers:int -> n_clients:int -> unit ->
+  t
+(** Defaults: testbed {!Netsim.Params.default}, {!Config.default},
+    {!Seqdlm.Policy.seqdlm}. *)
+
+val engine : t -> Dessim.Engine.t
+val params : t -> Netsim.Params.t
+val config : t -> Config.t
+val policy : t -> Seqdlm.Policy.t
+val n_clients : t -> int
+val n_servers : t -> int
+val client : t -> int -> Client.t
+val server_of_rid : t -> int -> int
+val data_server : t -> int -> Data_server.t
+val lock_server : t -> int -> Seqdlm.Lock_server.t
+val meta : t -> Meta_server.t
+
+val spawn_client : t -> int -> name:string -> (Client.t -> unit) -> unit
+(** Spawn a process running on client [i]. *)
+
+val run : ?until:float -> t -> unit
+val now : t -> float
+
+val fsync_all : t -> unit
+(** Run a process per client flushing all dirty data, and wait for
+    completion (the explicit flush phase whose duration is the "F time"
+    of the evaluation figures). *)
+
+val crash_and_recover_server : t -> int -> unit
+(** Fail server [i] between runs and run the §IV-C2 recovery protocol:
+    (1) the lock server rebuilds its lock table by gathering the grants
+    every client still caches for the stripes this server owns;
+    (2) the data server replays its extent logs to rebuild the extent
+    caches (the device contents survive);
+    (3) sequence-number floors are restored from both sources, so SNs
+    issued after recovery stay above everything ever written.
+    Requires {!Config.t.extent_log}. *)
+
+(** {1 Aggregated metrics} *)
+
+val total_locking_seconds : t -> float
+val total_cache_seconds : t -> float
+val total_io_seconds : t -> float
+val total_bytes_written : t -> int
+val sum_lock_stats : t -> Seqdlm.Lock_server.stats
+val total_disk_bytes : t -> int
+val check_invariants : t -> unit
+
+val stripe_contents : t -> Client.file -> stripe:int -> Ccpfs_util.Content.t
+(** Device contents of one stripe of a file (for end-to-end checks). *)

@@ -1,0 +1,285 @@
+open Ccpfs_util
+open Dessim
+open Netsim
+
+type block = { b_range : Interval.t; b_sn : int; b_tag : Content.tag }
+
+type io_req =
+  | Write_flush of { rid : int; blocks : block list }
+  | Read of { rid : int; range : Interval.t }
+  | Truncate of { rid : int; keep_below : int }
+
+type io_resp =
+  | Done
+  | Data of (Interval.t * Content.tag option) list
+
+type stats = {
+  mutable flush_rpcs : int;
+  mutable blocks_in : int;
+  mutable bytes_received : int;
+  mutable bytes_written : int;
+  mutable bytes_discarded : int;
+  mutable reads : int;
+  mutable cleanup_runs : int;
+  mutable cleanup_removed : int;
+  mutable force_syncs : int;
+  mutable cache_peak : int;
+}
+
+type stripe = {
+  mutable cache : int Extent_map.t; (* extent cache: range -> max SN *)
+  mutable store : Content.t; (* device contents *)
+  mutable log : (Interval.t * int) list; (* extent log, newest first *)
+  mutable coalesced_at : int;
+      (* cache cardinality after the last coalescing pass; same-SN
+         neighbour merging is amortised rather than per-block *)
+}
+
+type t = {
+  eng : Engine.t;
+  params : Params.t;
+  config : Config.t;
+  node : Node.t;
+  name : string;
+  lock_server : Seqdlm.Lock_server.t;
+  stripes : (int, stripe) Hashtbl.t;
+  stats : stats;
+  mutable ep : (io_req, io_resp) Rpc.endpoint option;
+  mutable cleaning : bool;
+}
+
+let stripe t rid =
+  match Hashtbl.find_opt t.stripes rid with
+  | Some s -> s
+  | None ->
+      let s =
+        { cache = Extent_map.empty; store = Content.empty; log = [];
+          coalesced_at = 0 }
+      in
+      Hashtbl.add t.stripes rid s;
+      s
+
+let total_cache_entries t =
+  Hashtbl.fold (fun _ s acc -> acc + Extent_map.cardinal s.cache) t.stripes 0
+
+(* Fig. 15 steps ①-④ for one incoming block. *)
+let apply_block t st (b : block) =
+  let cache, update_set =
+    Extent_map.merge st.cache b.b_range b.b_sn ~keep_new:(fun ~old ->
+        b.b_sn > old)
+  in
+  st.cache <- cache;
+  (* Merge continuous same-SN extents (Fig. 15), amortised: a full pass
+     only once the cache has grown 25% past its last coalesced size. *)
+  if Extent_map.cardinal st.cache > (st.coalesced_at * 5 / 4) + 16 then begin
+    st.cache <- Extent_map.coalesce ~eq:Int.equal st.cache;
+    st.coalesced_at <- Extent_map.cardinal st.cache
+  end;
+  let written =
+    List.fold_left
+      (fun acc seg ->
+        st.store <- Content.write st.store seg b.b_tag;
+        if t.config.Config.extent_log then st.log <- (seg, b.b_sn) :: st.log;
+        acc + Interval.length seg)
+      0 update_set
+  in
+  let size = Interval.length b.b_range in
+  t.stats.bytes_received <- t.stats.bytes_received + size;
+  t.stats.bytes_written <- t.stats.bytes_written + written;
+  t.stats.bytes_discarded <- t.stats.bytes_discarded + (size - written);
+  written
+
+(* Forward reference: the cleanup task is defined below but triggered
+   from the write path the moment the threshold is crossed (§IV-B: "the
+   server starts an asynchronous task"). *)
+let cleanup_impl :
+    (t -> unit) ref =
+  ref (fun _ -> ())
+
+let trigger_cleanup t =
+  if not t.cleaning then begin
+    t.cleaning <- true;
+    Engine.spawn t.eng ~name:(t.name ^ ".cleanup-task") (fun () ->
+        !cleanup_impl t;
+        t.cleaning <- false)
+  end
+
+let handle t req ~reply =
+  match req with
+  | Write_flush { rid; blocks } ->
+      let st = stripe t rid in
+      t.stats.flush_rpcs <- t.stats.flush_rpcs + 1;
+      t.stats.blocks_in <- t.stats.blocks_in + List.length blocks;
+      let written =
+        List.fold_left (fun acc b -> acc + apply_block t st b) 0 blocks
+      in
+      let entries = total_cache_entries t in
+      if entries > t.stats.cache_peak then t.stats.cache_peak <- entries;
+      if entries > t.config.Config.extent_cache_limit then trigger_cleanup t;
+      (* Device occupancy for the update set (the discarded parts never
+         reach the device). *)
+      Node.disk_write t.node written;
+      reply Done
+  | Read { rid; range } ->
+      let st = stripe t rid in
+      t.stats.reads <- t.stats.reads + 1;
+      Resource.consume (Node.disk t.node) (float_of_int (Interval.length range));
+      reply (Data (Content.read st.store range))
+  | Truncate { rid; keep_below } ->
+      let st = stripe t rid in
+      if keep_below <= 0 then begin
+        st.store <- Content.empty;
+        st.cache <- Extent_map.empty
+      end
+      else begin
+        let keep = Content.read st.store (Interval.v ~lo:0 ~hi:keep_below) in
+        st.store <-
+          List.fold_left
+            (fun c (seg, tag) ->
+              match tag with Some tg -> Content.write c seg tg | None -> c)
+            Content.empty keep;
+        st.cache <- Extent_map.remove st.cache (Interval.to_eof ~lo:keep_below)
+      end;
+      reply Done
+
+(* The asynchronous extent-cache cleanup task (§IV-B).  Removes entries
+   whose SN is no larger than the mSN of unreleased write locks over the
+   entry's range; falls back to force-synchronising every stripe when the
+   cache stays over the limit. *)
+let cleanup_round t =
+  t.stats.cleanup_runs <- t.stats.cleanup_runs + 1;
+  let budget = ref t.config.Config.cleanup_batch in
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun rid st ->
+      if !budget > 0 then begin
+        let examined = ref [] in
+        Extent_map.iter
+          (fun iv sn ->
+            if !budget > 0 then begin
+              decr budget;
+              let reclaimable =
+                match
+                  Seqdlm.Lock_server.min_unreleased_write_sn t.lock_server rid iv
+                with
+                | None -> true
+                | Some msn -> sn <= msn
+              in
+              if reclaimable then examined := iv :: !examined
+            end)
+          st.cache;
+        List.iter
+          (fun iv ->
+            st.cache <- Extent_map.remove st.cache iv;
+            incr removed)
+          !examined
+      end)
+    t.stripes;
+  t.stats.cleanup_removed <- t.stats.cleanup_removed + !removed;
+  !removed
+
+let force_sync t =
+  t.stats.force_syncs <- t.stats.force_syncs + 1;
+  let pending = ref 0 in
+  let done_ = Condition.create t.eng in
+  Hashtbl.iter
+    (fun rid _ ->
+      incr pending;
+      Seqdlm.Lock_server.sync_resource t.lock_server rid ~on_behalf:(-1)
+        ~reply:(fun () ->
+          decr pending;
+          if !pending = 0 then Condition.broadcast done_))
+    t.stripes;
+  if !pending > 0 then Condition.wait_until done_ (fun () -> !pending = 0);
+  (* Every write lock has been released, so all data is on the device:
+     caches and logs can be cleared. *)
+  Hashtbl.iter
+    (fun _ st ->
+      t.stats.cleanup_removed <-
+        t.stats.cleanup_removed + Extent_map.cardinal st.cache;
+      st.cache <- Extent_map.empty;
+      st.log <- [])
+    t.stripes
+
+let () =
+  cleanup_impl :=
+    fun t ->
+      ignore (cleanup_round t);
+      if total_cache_entries t > t.config.Config.extent_cache_limit then
+        force_sync t
+
+let cleanup_daemon t () =
+  while true do
+    Engine.sleep t.eng t.config.Config.cleanup_period;
+    if total_cache_entries t > t.config.Config.extent_cache_limit then
+      trigger_cleanup t
+  done
+
+let create eng params config ~node ~name ~lock_server =
+  let t =
+    {
+      eng; params; config; node; name; lock_server;
+      stripes = Hashtbl.create 64;
+      stats =
+        {
+          flush_rpcs = 0; blocks_in = 0; bytes_received = 0; bytes_written = 0;
+          bytes_discarded = 0; reads = 0; cleanup_runs = 0; cleanup_removed = 0;
+          force_syncs = 0; cache_peak = 0;
+        };
+      ep = None;
+      cleaning = false;
+    }
+  in
+  t.ep <-
+    Some
+      (Rpc.endpoint eng params ~node ~name:(name ^ ".io")
+         ~handler:(fun req ~reply -> handle t req ~reply));
+  Engine.spawn eng ~daemon:true ~name:(name ^ ".cleanup") (cleanup_daemon t);
+  t
+
+let endpoint t = Option.get t.ep
+let contents t rid = (stripe t rid).store
+let extent_cache_entries t = total_cache_entries t
+
+let extent_cache_of t rid = Extent_map.to_list (stripe t rid).cache
+
+let rebuild_extent_cache_from_log t rid =
+  if not t.config.Config.extent_log then
+    invalid_arg (t.name ^ ": extent log disabled");
+  let st = stripe t rid in
+  let rebuilt =
+    List.fold_left
+      (fun m (iv, sn) ->
+        fst (Extent_map.merge m iv sn ~keep_new:(fun ~old -> sn > old)))
+      Extent_map.empty (List.rev st.log)
+  in
+  Extent_map.to_list (Extent_map.coalesce ~eq:Int.equal rebuilt)
+
+let crash_and_rebuild t =
+  if not t.config.Config.extent_log then
+    invalid_arg (t.name ^ ": recovery needs the extent log");
+  Hashtbl.iter
+    (fun rid st ->
+      st.cache <-
+        Extent_map.of_list
+          (List.map (fun (iv, sn) -> (iv, sn)) (rebuild_extent_cache_from_log t rid));
+      st.coalesced_at <- Extent_map.cardinal st.cache)
+    t.stripes
+
+let max_logged_sn t rid =
+  match Hashtbl.find_opt t.stripes rid with
+  | None -> None
+  | Some st ->
+      List.fold_left
+        (fun acc (_, sn) ->
+          match acc with
+          | None -> Some sn
+          | Some m -> Some (max m sn))
+        None st.log
+
+let stripe_rids t =
+  Hashtbl.fold (fun rid _ acc -> rid :: acc) t.stripes []
+  |> List.sort Int.compare
+
+let stats t = t.stats
+let node t = t.node

@@ -1,0 +1,86 @@
+(** The IO service of a ccPFS data server (§IV-B, Fig. 15).
+
+    Flush RPCs carry SN-tagged blocks that may arrive out of order across
+    conflicting locks.  The server merges each block's SN into the
+    per-stripe extent cache keeping the larger SN per byte; the parts
+    where the incoming SN won (the update set) are written to the device
+    and applied to stripe contents, the rest is discarded.  Optionally
+    every update-set entry is appended to a per-stripe extent log so the
+    cache can be rebuilt on recovery.
+
+    A background cleanup task bounds the extent cache: when the total
+    entry count exceeds the configured limit it queries the colocated
+    lock server for the minimum SN of unreleased write locks (mSN) and
+    drops entries whose SN <= mSN — SeqDLM guarantees data with smaller
+    SNs is already on the device.  If that cannot reclaim enough, the
+    server force-synchronises writers by taking a whole-range read lock
+    per stripe and then clears the caches and logs. *)
+
+type t
+
+type block = {
+  b_range : Ccpfs_util.Interval.t;  (** object-space byte range *)
+  b_sn : int;
+  b_tag : Ccpfs_util.Content.tag;
+}
+
+type io_req =
+  | Write_flush of { rid : int; blocks : block list }
+  | Read of { rid : int; range : Ccpfs_util.Interval.t }
+  | Truncate of { rid : int; keep_below : int }
+
+type io_resp =
+  | Done
+  | Data of (Ccpfs_util.Interval.t * Ccpfs_util.Content.tag option) list
+
+val create :
+  Dessim.Engine.t -> Netsim.Params.t -> Config.t -> node:Netsim.Node.t ->
+  name:string -> lock_server:Seqdlm.Lock_server.t -> t
+(** The lock server must be the colocated DLM service for this node's
+    stripes (mSN queries are local calls).  Starts the cleanup daemon. *)
+
+val endpoint : t -> (io_req, io_resp) Netsim.Rpc.endpoint
+
+val contents : t -> int -> Ccpfs_util.Content.t
+(** Current device contents of a stripe (empty if never written). *)
+
+val extent_cache_entries : t -> int
+(** Total extent-cache entries across stripes. *)
+
+val extent_cache_of : t -> int -> (Ccpfs_util.Interval.t * int) list
+(** A stripe's extent cache: (range, max SN) entries. *)
+
+val rebuild_extent_cache_from_log :
+  t -> int -> (Ccpfs_util.Interval.t * int) list
+(** Replay the stripe's extent log (§IV-C2).  The result must equal the
+    live extent cache — asserted by the recovery tests.
+    @raise Invalid_argument if the extent log is disabled. *)
+
+val crash_and_rebuild : t -> unit
+(** Simulate a server failure: the in-memory extent caches are lost and
+    rebuilt by replaying each stripe's extent log; stripe contents (the
+    device) survive.
+    @raise Invalid_argument if the extent log is disabled. *)
+
+val max_logged_sn : t -> int -> int option
+(** Largest SN in a stripe's extent log (restores the lock server's
+    sequence-number floor during recovery). *)
+
+val stripe_rids : t -> int list
+(** Every stripe this server has seen IO for. *)
+
+type stats = {
+  mutable flush_rpcs : int;
+  mutable blocks_in : int;
+  mutable bytes_received : int;
+  mutable bytes_written : int;  (** update-set bytes that reached the device *)
+  mutable bytes_discarded : int;  (** stale bytes dropped by SN merging *)
+  mutable reads : int;
+  mutable cleanup_runs : int;
+  mutable cleanup_removed : int;
+  mutable force_syncs : int;
+  mutable cache_peak : int;
+}
+
+val stats : t -> stats
+val node : t -> Netsim.Node.t

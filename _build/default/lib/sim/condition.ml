@@ -1,0 +1,24 @@
+type t = { eng : Engine.t; waiters : (unit -> unit) Queue.t }
+
+let create eng = { eng; waiters = Queue.create () }
+
+let wait t = Engine.suspend t.eng (fun resume -> Queue.add resume t.waiters)
+
+let rec wait_until t pred =
+  if pred () then ()
+  else begin
+    wait t;
+    wait_until t pred
+  end
+
+let signal t =
+  match Queue.take_opt t.waiters with
+  | Some resume -> resume ()
+  | None -> ()
+
+let broadcast t =
+  let ws = Queue.to_seq t.waiters |> List.of_seq in
+  Queue.clear t.waiters;
+  List.iter (fun resume -> resume ()) ws
+
+let waiting t = Queue.length t.waiters

@@ -1,0 +1,181 @@
+exception Deadlock of string list
+
+type proc = {
+  pid : int;
+  name : string;
+  daemon : bool;
+  mutable blocked : bool;
+  mutable done_ : bool;
+}
+
+type event = { time : float; seq : int; proc : proc option; thunk : unit -> unit }
+
+(* Binary min-heap on (time, seq); seq breaks ties deterministically in
+   scheduling order. *)
+module Heap = struct
+  type t = { mutable a : event option array; mutable n : int }
+
+  let create () = { a = Array.make 1024 None; n = 0 }
+
+  let before x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let get h i = match h.a.(i) with Some e -> e | None -> assert false
+
+  let push h e =
+    if h.n = Array.length h.a then begin
+      let a = Array.make (2 * h.n) None in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    let i = ref h.n in
+    h.a.(h.n) <- Some e;
+    h.n <- h.n + 1;
+    while
+      !i > 0 &&
+      let p = (!i - 1) / 2 in
+      before (get h !i) (get h p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(!i) in
+      h.a.(!i) <- h.a.(p);
+      h.a.(p) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.n = 0 then None else h.a.(0)
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = get h 0 in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      h.a.(h.n) <- None;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && before (get h l) (get h !smallest) then smallest := l;
+        if r < h.n && before (get h r) (get h !smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.a.(!i) in
+          h.a.(!i) <- h.a.(!smallest);
+          h.a.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : Heap.t;
+  mutable current : proc option;
+  mutable live : int; (* regular (non-daemon) processes not yet done *)
+  mutable regular_spawned : int;
+  mutable next_pid : int;
+  mutable dispatched : int;
+  mutable blocked_procs : proc list; (* regular procs currently suspended *)
+}
+
+let create () =
+  { now = 0.; seq = 0; heap = Heap.create (); current = None; live = 0;
+    regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = [] }
+
+let now t = t.now
+let live_processes t = t.live
+let events_dispatched t = t.dispatched
+
+let push_event t ~time ~proc thunk =
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { time; seq = t.seq; proc; thunk }
+
+let schedule t ?(delay = 0.) thunk =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  push_event t ~time:(t.now +. delay) ~proc:None thunk
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let mark_blocked t proc =
+  proc.blocked <- true;
+  if not proc.daemon then t.blocked_procs <- proc :: t.blocked_procs
+
+let mark_unblocked t proc =
+  proc.blocked <- false;
+  if not proc.daemon then
+    t.blocked_procs <- List.filter (fun p -> p.pid <> proc.pid) t.blocked_procs
+
+let spawn t ?(daemon = false) ~name body =
+  t.next_pid <- t.next_pid + 1;
+  let proc = { pid = t.next_pid; name; daemon; blocked = false; done_ = false } in
+  if not daemon then begin
+    t.live <- t.live + 1;
+    t.regular_spawned <- t.regular_spawned + 1
+  end;
+  let finish () =
+    proc.done_ <- true;
+    if not daemon then t.live <- t.live - 1
+  in
+  let open Effect.Deep in
+  let exec () =
+    match_with body ()
+      {
+        retc = (fun () -> finish ());
+        exnc = (fun e -> finish (); raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    let resumed = ref false in
+                    mark_blocked t proc;
+                    register (fun () ->
+                        if not !resumed then begin
+                          resumed := true;
+                          mark_unblocked t proc;
+                          push_event t ~time:t.now ~proc:(Some proc)
+                            (fun () -> continue k ())
+                        end))
+            | _ -> None);
+      }
+  in
+  push_event t ~time:t.now ~proc:(Some proc) exec
+
+let suspend _t register = Effect.perform (Suspend register)
+
+let sleep t d =
+  if d < 0. then invalid_arg "Engine.sleep: negative duration";
+  if d = 0. then ()
+  else suspend t (fun resume -> push_event t ~time:(t.now +. d) ~proc:t.current resume)
+
+let run ?until t =
+  let stop_time = Option.value until ~default:infinity in
+  let rec loop () =
+    if t.regular_spawned > 0 && t.live = 0 then ()
+    else
+      match Heap.peek t.heap with
+      | None ->
+          if t.live > 0 then begin
+            let names =
+              List.sort compare (List.map (fun p -> p.name) t.blocked_procs)
+            in
+            raise (Deadlock names)
+          end
+      | Some ev when ev.time > stop_time -> t.now <- stop_time
+      | Some _ ->
+          (match Heap.pop t.heap with
+          | None -> assert false
+          | Some ev ->
+              t.now <- ev.time;
+              t.current <- ev.proc;
+              t.dispatched <- t.dispatched + 1;
+              ev.thunk ();
+              t.current <- None);
+          loop ()
+  in
+  loop ()

@@ -1,0 +1,59 @@
+(** Deterministic discrete-event simulation engine.
+
+    Clients, lock servers and data servers of the simulated cluster run as
+    cooperative processes (OCaml 5 effect-handler coroutines) over a
+    shared virtual clock.  A process runs until it blocks — on a timer
+    ({!sleep}), a mailbox, a semaphore or a bandwidth resource — and the
+    engine then dispatches the next event in (time, sequence) order, so
+    runs are reproducible event-for-event.
+
+    Two kinds of processes exist: regular ones, which the simulation runs
+    to completion, and daemons (cache-flush daemons, extent-cache cleanup
+    tasks) that may block forever.  {!run} returns once every regular
+    process has finished; if the event queue drains while regular
+    processes are still blocked, the simulation is deadlocked and
+    {!Deadlock} is raised with their names. *)
+
+type t
+
+exception Deadlock of string list
+(** Names of the regular processes blocked forever. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, seconds. *)
+
+val spawn : t -> ?daemon:bool -> name:string -> (unit -> unit) -> unit
+(** Start a process at the current virtual time.  [daemon] defaults to
+    [false]. *)
+
+val schedule : t -> ?delay:float -> (unit -> unit) -> unit
+(** Run a plain thunk (not a blocking process) at [now + delay]. *)
+
+val run : ?until:float -> t -> unit
+(** Dispatch events until every regular process has finished, the queue is
+    empty, or virtual time would pass [until].  May be called again to
+    continue a paused simulation.
+
+    @raise Deadlock if the queue drains with regular processes blocked. *)
+
+(** {1 Inside a process}
+
+    The following must only be called from code running inside a
+    process spawned on the same engine. *)
+
+val sleep : t -> float -> unit
+(** Block for a virtual duration (>= 0). *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] blocks the current process and hands [register] a
+    resume function; calling it (once) reschedules the process at the
+    virtual time of the call.  This is the primitive the blocking
+    synchronisation structures are built from. *)
+
+val live_processes : t -> int
+(** Regular processes spawned and not yet finished. *)
+
+val events_dispatched : t -> int
+(** Total events processed so far (simulation-cost metric). *)

@@ -1,0 +1,26 @@
+type 'a t = {
+  eng : Engine.t;
+  mutable value : 'a option;
+  mutable waiters : (unit -> unit) list;
+}
+
+let create eng = { eng; value = None; waiters = [] }
+
+let fill t v =
+  match t.value with
+  | Some _ -> invalid_arg "Ivar.fill: already filled"
+  | None ->
+      t.value <- Some v;
+      let ws = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter (fun resume -> resume ()) ws
+
+let read t =
+  match t.value with
+  | Some v -> v
+  | None ->
+      Engine.suspend t.eng (fun resume -> t.waiters <- resume :: t.waiters);
+      (match t.value with Some v -> v | None -> assert false)
+
+let is_filled t = Option.is_some t.value
+let peek t = t.value

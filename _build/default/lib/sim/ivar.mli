@@ -1,0 +1,15 @@
+(** Write-once cells: the reply slot of an in-flight RPC.  Any number of
+    processes may block in [read]; they all resume when [fill] runs. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if already filled. *)
+
+val read : 'a t -> 'a
+(** Returns immediately if filled, otherwise blocks the current process. *)
+
+val is_filled : 'a t -> bool
+val peek : 'a t -> 'a option

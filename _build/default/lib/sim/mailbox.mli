@@ -1,0 +1,16 @@
+(** Unbounded FIFO message queues between simulated processes.  [recv]
+    blocks the calling process until a message is available; messages are
+    delivered in send order. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+val send : 'a t -> 'a -> unit
+(** Never blocks. *)
+
+val recv : 'a t -> 'a
+(** Blocks the current process until a message arrives. *)
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int
+(** Messages queued and not yet claimed by a receiver. *)

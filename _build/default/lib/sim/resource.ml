@@ -1,0 +1,26 @@
+type t = {
+  eng : Engine.t;
+  rate : float;
+  mutable available_at : float;
+  mutable busy : float;
+}
+
+let create eng ~rate =
+  if rate <= 0. then invalid_arg "Resource.create: rate must be positive";
+  { eng; rate; available_at = 0.; busy = 0. }
+
+let consume t amount =
+  if amount < 0. then invalid_arg "Resource.consume: negative amount";
+  if t.rate = infinity || amount = 0. then ()
+  else begin
+    let service = amount /. t.rate in
+    let now = Engine.now t.eng in
+    let start = Float.max now t.available_at in
+    t.available_at <- start +. service;
+    t.busy <- t.busy +. service;
+    Engine.sleep t.eng (t.available_at -. now)
+  end
+
+let busy_seconds t = t.busy
+let backlog_until t = t.available_at
+let rate t = t.rate

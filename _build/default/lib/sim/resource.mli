@@ -1,0 +1,27 @@
+(** FIFO-served rate resources: the bandwidth pipes and operation-rate
+    limiters of the simulated cluster.
+
+    A resource serves work at [rate] units per second, one request at a
+    time in arrival order.  [consume r amount] blocks the calling process
+    until its [amount / rate] seconds of service complete, queued behind
+    all earlier requests — exactly the store-and-forward occupancy model
+    behind the paper's Eq. (2): a network pipe is a resource with
+    [rate = B_net] consumed in bytes, a disk is one with [rate = B_disk],
+    and a lock server's RPC processor is one with [rate = OPS] consumed in
+    operations. *)
+
+type t
+
+val create : Engine.t -> rate:float -> t
+(** [rate] in units/second; [infinity] makes {!consume} free. *)
+
+val consume : t -> float -> unit
+(** Block for the FIFO-queued service time of [amount] units. *)
+
+val busy_seconds : t -> float
+(** Total service time performed so far (utilisation accounting). *)
+
+val backlog_until : t -> float
+(** Virtual time at which currently-queued work completes. *)
+
+val rate : t -> float

@@ -1,0 +1,31 @@
+type t = {
+  eng : Engine.t;
+  mutable permits : int;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create eng n =
+  if n < 0 then invalid_arg "Semaphore.create: negative permits";
+  { eng; permits = n; waiters = Queue.create () }
+
+let acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else Engine.suspend t.eng (fun resume -> Queue.add resume t.waiters)
+
+let release t =
+  match Queue.take_opt t.waiters with
+  | Some resume -> resume ()
+  | None -> t.permits <- t.permits + 1
+
+let with_permit t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e
+
+let available t = t.permits
+let waiting t = Queue.length t.waiters

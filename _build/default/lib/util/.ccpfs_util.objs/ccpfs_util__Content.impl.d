@@ -1,0 +1,1 @@
+lib/util/content.ml: Extent_map Format Interval List

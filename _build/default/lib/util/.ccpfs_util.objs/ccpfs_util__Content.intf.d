@@ -1,0 +1,1 @@
+lib/util/content.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/util/det_random.ml: Array Random

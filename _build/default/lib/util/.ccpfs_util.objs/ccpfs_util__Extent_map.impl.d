@@ -1,0 +1,1 @@
+lib/util/extent_map.ml: Format Int Interval List Map Seq

@@ -1,0 +1,1 @@
+lib/util/extent_map.mli: Format Interval

@@ -1,0 +1,65 @@
+(** Maps from disjoint half-open byte intervals to values.
+
+    This is the single data structure behind the three extent stores in
+    the system: the client-cache page extent lists (value = SN of the
+    dirty data), the data-server extent cache (value = max SN written to
+    the device, paper §IV-B) and the abstract file contents used for
+    correctness checking.
+
+    The map maintains the invariant that stored intervals are pairwise
+    disjoint.  Adjacent intervals with equal values are not automatically
+    merged; use {!coalesce} (the extent cache merges "continuous extents
+    of the same stripe with the same SN" to bound its size). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+(** Number of stored extents (the quantity the data server's cleanup task
+    compares against its 256 K-entry threshold). *)
+
+val set : 'a t -> Interval.t -> 'a -> 'a t
+(** [set m iv v] overwrites the range [iv] with [v], splitting any
+    overlapping extents. *)
+
+val remove : 'a t -> Interval.t -> 'a t
+(** Clear a range, splitting partially-covered extents. *)
+
+val find : 'a t -> int -> 'a option
+(** Value at a byte offset, if covered. *)
+
+val overlapping : 'a t -> Interval.t -> (Interval.t * 'a) list
+(** Extents intersecting the range, clipped to it, in offset order. *)
+
+val covered : 'a t -> Interval.t -> bool
+(** True iff every byte of the range is mapped. *)
+
+val merge :
+  'a t -> Interval.t -> 'a -> keep_new:(old:'a -> bool) ->
+  'a t * Interval.t list
+(** [merge m iv v ~keep_new] writes [v] over [iv] but, where an old value
+    [w] is present, keeps [w] unless [keep_new ~old:w].  Returns the new
+    map and the ordered sub-ranges where the new value won (the paper's
+    "update set": the parts of an out-of-order flush that must actually
+    reach the device). *)
+
+val fold : (Interval.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** Fold in increasing offset order. *)
+
+val iter : (Interval.t -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> (Interval.t * 'a) list
+val of_list : (Interval.t * 'a) list -> 'a t
+(** Builds by successive {!set}; later entries win on overlap. *)
+
+val coalesce : eq:('a -> 'a -> bool) -> 'a t -> 'a t
+(** Merge adjacent extents carrying equal values. *)
+
+val filter : (Interval.t -> 'a -> bool) -> 'a t -> 'a t
+
+val check_invariants : 'a t -> unit
+(** Raises [Assert_failure] if intervals are not sorted and disjoint.
+    Used by the property tests. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

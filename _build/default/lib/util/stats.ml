@@ -1,0 +1,57 @@
+type t = {
+  mutable samples : float list;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable sorted : float array option;
+}
+
+let create () =
+  { samples = []; n = 0; sum = 0.; sumsq = 0.; mn = infinity;
+    mx = neg_infinity; sorted = None }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.sorted <- None
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+let min t = if t.n = 0 then 0. else t.mn
+let max t = if t.n = 0 then 0. else t.mx
+
+let stddev t =
+  if t.n < 2 then 0.
+  else
+    let m = mean t in
+    let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+    sqrt (Float.max 0. var)
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort Float.compare a;
+      t.sorted <- Some a;
+      a
+
+let percentile t p =
+  if t.n = 0 then 0.
+  else
+    let a = sorted t in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int t.n)) - 1
+    in
+    a.(Stdlib.max 0 (Stdlib.min (t.n - 1) rank))
+
+let pp_summary ppf t =
+  Format.fprintf ppf "n=%d mean=%.6g min=%.6g p50=%.6g p99=%.6g max=%.6g"
+    t.n (mean t) (min t) (percentile t 50.) (percentile t 99.) (max t)

@@ -1,0 +1,19 @@
+(** Streaming sample accumulator used by the experiment harness for
+    latency breakdowns and bandwidth series. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0. on an empty accumulator. *)
+
+val min : t -> float
+val max : t -> float
+val stddev : t -> float
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100]; nearest-rank. *)
+
+val pp_summary : Format.formatter -> t -> unit

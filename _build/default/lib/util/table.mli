@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness: each experiment
+    prints the same rows/series as the corresponding paper table or
+    figure. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val add_note : t -> string -> unit
+(** Free-form line printed under the table (used for the paper-vs-measured
+    commentary). *)
+
+val render : t -> string
+
+val render_csv : t -> string
+(** Header row + data rows, comma-separated with minimal quoting (notes
+    are omitted). *)
+
+val print : t -> unit
+(** [render] followed by a newline on stdout.  If the environment
+    variable [CCPFS_TABLE_CSV] names a directory, a CSV copy of the
+    table is also written there (slugified title as the file name) for
+    plotting. *)

@@ -1,0 +1,1 @@
+lib/workloads/access.ml: Ccpfs_util List

@@ -1,0 +1,1 @@
+lib/workloads/access.mli: Ccpfs_util

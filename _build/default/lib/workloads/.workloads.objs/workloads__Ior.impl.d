@@ -1,0 +1,1 @@
+lib/workloads/ior.ml: Access List Printf

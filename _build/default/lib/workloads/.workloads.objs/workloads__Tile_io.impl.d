@@ -1,0 +1,1 @@
+lib/workloads/tile_io.ml: Ccpfs_util Interval List

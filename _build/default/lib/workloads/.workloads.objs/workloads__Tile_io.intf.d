@@ -1,0 +1,1 @@
+lib/workloads/tile_io.mli: Ccpfs_util

@@ -1,0 +1,1 @@
+lib/workloads/vpic.ml: Access List

@@ -1,0 +1,17 @@
+let accesses ~pattern ~nprocs ~rank ~xfer ~blocks =
+  if rank < 0 || rank >= nprocs then invalid_arg "Ior.accesses: bad rank";
+  List.init blocks (fun k ->
+      let off =
+        match pattern with
+        | Access.N_n -> k * xfer
+        | Access.N1_segmented -> ((rank * blocks) + k) * xfer
+        | Access.N1_strided -> (((k * nprocs) + rank) * xfer)
+      in
+      { Access.off; len = xfer })
+
+let file_of_rank ~pattern ~rank =
+  match pattern with
+  | Access.N_n -> Printf.sprintf "/ior.rank%d" rank
+  | Access.N1_segmented | Access.N1_strided -> "/ior.shared"
+
+let blocks_for_total ~total ~xfer = max 1 (total / xfer)

@@ -1,0 +1,18 @@
+(** The IOR benchmark's offset streams (§II-B, §V-C).
+
+    Every rank writes [blocks] transfers of [xfer] bytes.  In the
+    segmented pattern rank r owns the contiguous region
+    [r·blocks·xfer, (r+1)·blocks·xfer); in the strided pattern block k of
+    rank r lands in slot k·nprocs + r; in N-N each rank has its own file
+    and writes sequentially from 0. *)
+
+val accesses :
+  pattern:Access.pattern -> nprocs:int -> rank:int -> xfer:int -> blocks:int ->
+  Access.t list
+(** In issue order. *)
+
+val file_of_rank : pattern:Access.pattern -> rank:int -> string
+(** Shared path for N-1 patterns, per-rank path for N-N. *)
+
+val blocks_for_total : total:int -> xfer:int -> int
+(** Number of transfers for a per-rank data volume ([>= 1]). *)

@@ -1,0 +1,30 @@
+open Ccpfs_util
+
+type grid = { rows : int; cols : int; tile : int; overlap : int; elem : int }
+
+let paper_grid = { rows = 8; cols = 12; tile = 20480; overlap = 100; elem = 4 }
+
+let scaled_grid g ~scale =
+  let tile = max 8 (int_of_float (float_of_int g.tile *. scale)) in
+  let overlap = max 1 (min (tile / 4) (int_of_float (float_of_int g.overlap *. scale))) in
+  { g with tile; overlap }
+
+let nclients g = g.rows * g.cols
+
+(* Global array geometry: tiles are placed on a (tile - overlap) pitch,
+   so the array is pitch*n + overlap pixels on each axis. *)
+let width_px g = ((g.tile - g.overlap) * g.cols) + g.overlap
+let height_px g = ((g.tile - g.overlap) * g.rows) + g.overlap
+
+let ranges g ~rank =
+  if rank < 0 || rank >= nclients g then invalid_arg "Tile_io.ranges: bad rank";
+  let tr = rank / g.cols and tc = rank mod g.cols in
+  let pitch = g.tile - g.overlap in
+  let x0 = tc * pitch and y0 = tr * pitch in
+  let row_bytes = width_px g * g.elem in
+  List.init g.tile (fun dy ->
+      let lo = ((y0 + dy) * row_bytes) + (x0 * g.elem) in
+      Interval.of_len ~lo ~len:(g.tile * g.elem))
+
+let file_bytes g = width_px g * height_px g * g.elem
+let bytes_per_client g = g.tile * g.tile * g.elem

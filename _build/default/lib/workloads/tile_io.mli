@@ -1,0 +1,30 @@
+(** mpi-tile-io: a 2-D tile grid over a row-major array in a shared file
+    (§V-D).  Client (r, c) owns one tile of [tile]×[tile] pixels of
+    [elem] bytes; adjacent tiles overlap by [overlap] pixels in both
+    dimensions, so neighbouring clients write intersecting bytes and the
+    write set of one client is [tile] non-contiguous row segments that
+    must be written atomically. *)
+
+type grid = {
+  rows : int;
+  cols : int;
+  tile : int;  (** tile edge, pixels *)
+  overlap : int;  (** pixels shared with each neighbour *)
+  elem : int;  (** bytes per pixel *)
+}
+
+val paper_grid : grid
+(** 8×12 tiles of 20480² pixels, 4-byte elements, 100-pixel overlaps. *)
+
+val scaled_grid : grid -> scale:float -> grid
+(** Shrink tile edge (and overlap proportionally) for laptop runs; grid
+    shape is preserved. *)
+
+val nclients : grid -> int
+
+val ranges : grid -> rank:int -> Ccpfs_util.Interval.t list
+(** The non-contiguous byte ranges client [rank] writes (row-major rank:
+    tile row = rank / cols).  Sorted, disjoint. *)
+
+val file_bytes : grid -> int
+val bytes_per_client : grid -> int

@@ -1,0 +1,16 @@
+let vars = 8
+let elem = 4
+
+let accesses ~nprocs ~rank ~particles ~iterations =
+  if rank < 0 || rank >= nprocs then invalid_arg "Vpic.accesses: bad rank";
+  let seg = particles * elem in
+  List.concat
+    (List.init iterations (fun it ->
+         List.init vars (fun v ->
+             let base = ((it * vars) + v) * nprocs * seg in
+             { Access.off = base + (rank * seg); len = seg })))
+
+let write_size ~particles = particles * elem
+
+let total_bytes ~nprocs ~particles ~iterations =
+  nprocs * particles * elem * vars * iterations

@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Analytic Gen Model Netsim Params Printf QCheck QCheck_alcotest Test

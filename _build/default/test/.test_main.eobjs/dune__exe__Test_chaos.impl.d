@@ -1,0 +1,1 @@
+test/test_chaos.ml: Array Ccpfs Ccpfs_util Client Cluster Config Content Hashtbl Layout List Netsim Printf QCheck QCheck_alcotest Seqdlm String Units

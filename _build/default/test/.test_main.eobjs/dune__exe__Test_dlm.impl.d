@@ -1,0 +1,1 @@
+test/test_dlm.ml: Alcotest Array Ccpfs_util Dessim Engine Gen Hashtbl Interval Ivar Lcm List Lock_client Lock_server Mode Netsim Policy Print Printf QCheck QCheck_alcotest Seqdlm String Test Types

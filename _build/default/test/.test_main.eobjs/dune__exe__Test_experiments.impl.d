@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Analytic Array Ccpfs_util Experiments List Netsim Printf Seqdlm Units Workloads

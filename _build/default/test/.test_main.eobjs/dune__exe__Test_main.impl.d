@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_analytic Test_chaos Test_dlm Test_experiments Test_meta Test_net Test_pfs Test_recovery Test_sim Test_util Test_workloads

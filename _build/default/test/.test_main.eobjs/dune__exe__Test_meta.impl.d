@@ -1,0 +1,1 @@
+test/test_meta.ml: Alcotest Ccpfs Dessim Engine Layout Meta_server Netsim

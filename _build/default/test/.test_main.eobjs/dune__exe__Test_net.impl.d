@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dessim Engine Netsim Node Params Printf Rpc

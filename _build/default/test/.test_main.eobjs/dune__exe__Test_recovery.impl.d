@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Ccpfs Ccpfs_util Client Cluster Config Content Data_server Dessim Engine Extent_map Int Interval Layout List Netsim Option Printf Seqdlm Units

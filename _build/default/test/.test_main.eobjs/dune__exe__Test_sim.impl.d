@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Condition Dessim Engine Ivar List Mailbox Printf Resource Semaphore

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ccpfs_util Content Det_random Extent_map Gen Int Interval List Option Print Printf QCheck QCheck_alcotest Stats String Table Test Units

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Access Alcotest Ccpfs_util Extent_map Gen Int Interval Ior List Printf QCheck QCheck_alcotest Seqdlm Test Tile_io Vpic Workloads

@@ -1,0 +1,78 @@
+(* Tests for the §II-C analytic model. *)
+
+open Netsim
+open Analytic
+
+let feq = Alcotest.(check (float 1e-6))
+
+let test_paper_numbers () =
+  (* The paper evaluates ①②③ at D = 10^6 bytes with Table I:
+     ① ≈ 1.0e-13, ② ≈ 1.0e-12, ③ ≈ 4.1e-10 sec/byte. *)
+  let t = Model.terms Params.table1 ~d:1_000_000 in
+  Alcotest.(check (float 1e-15)) "term 1" 1.0e-13 t.Model.t1;
+  Alcotest.(check (float 1e-14)) "term 2" 1.0e-12 t.Model.t2;
+  Alcotest.(check bool) "term 3 ~ 4.1e-10" true
+    (t.Model.t3 > 4.0e-10 && t.Model.t3 < 4.2e-10);
+  Alcotest.(check bool) "flushing dominates" true
+    (Model.dominant_term t = `T3)
+
+let test_b_flush_harmonic () =
+  (* Eq. 2 is the harmonic combination of net and disk bandwidth. *)
+  let p = { Params.table1 with b_net = 4e9; b_disk = 4e9 } in
+  feq "equal rates halve" 2e9 (Model.b_flush p);
+  let p2 = { p with b_net = infinity } in
+  Alcotest.(check bool) "infinite net -> disk bound" true
+    (abs_float (Model.b_flush p2 -. 4e9) < 1.)
+
+let test_bandwidth_monotonic_in_d () =
+  (* Larger writes amortise ① and ②, so the bound rises toward B_flush. *)
+  let p = Params.table1 in
+  let b d = Model.bandwidth_approx p ~d in
+  Alcotest.(check bool) "monotone" true
+    (b 4096 < b 65536 && b 65536 < b 1_048_576);
+  Alcotest.(check bool) "capped by B_flush" true
+    (b 16_777_216 < Model.b_flush p)
+
+let test_exact_vs_approx () =
+  let p = Params.table1 in
+  let exact = Model.bandwidth_exact p ~n:10_000 ~d:1_000_000 in
+  let approx = Model.bandwidth_approx p ~d:1_000_000 in
+  Alcotest.(check bool) "large-N exact ~ approx" true
+    (abs_float (exact -. approx) /. approx < 0.01)
+
+let test_no_flush_bound () =
+  let p = Params.table1 in
+  Alcotest.(check bool) "removing 3 lifts the bound by orders of magnitude"
+    true
+    (Model.bandwidth_no_flush p ~n:64 ~d:1_000_000
+    > 50. *. Model.bandwidth_exact p ~n:64 ~d:1_000_000)
+
+let prop_bandwidth_positive_bounded =
+  let open QCheck in
+  Test.make ~name:"Eq. 1 yields positive bandwidth below B_flush" ~count:200
+    (make
+       ~print:(fun (n, d) -> Printf.sprintf "n=%d d=%d" n d)
+       Gen.(pair (int_range 2 1000) (int_range 1 (1 lsl 24))))
+    (fun (n, d) ->
+      (* N conflicting writes serialize only N-1 flushes, so the bound is
+         B_flush * N/(N-1), approaching B_flush for large N. *)
+      let p = Params.default in
+      let b = Model.bandwidth_exact p ~n ~d in
+      b > 0.
+      && b <= Model.b_flush p *. (float_of_int n /. float_of_int (n - 1))
+              *. 1.0001)
+
+let suite =
+  [
+    ( "analytic.model",
+      [
+        Alcotest.test_case "paper's term values" `Quick test_paper_numbers;
+        Alcotest.test_case "Eq. 2 harmonic" `Quick test_b_flush_harmonic;
+        Alcotest.test_case "bound monotone in D" `Quick
+          test_bandwidth_monotonic_in_d;
+        Alcotest.test_case "exact ~ approx at large N" `Quick
+          test_exact_vs_approx;
+        Alcotest.test_case "no-flush bound" `Quick test_no_flush_bound;
+        QCheck_alcotest.to_alcotest prop_bandwidth_positive_bounded;
+      ] );
+  ]

@@ -1,0 +1,121 @@
+(* Randomised end-to-end coherence: arbitrary mixes of writes, reads and
+   appends from several clients, over random stripe counts, under every
+   DLM policy.  Whatever the interleaving, the run must terminate, keep
+   the lock-server invariants, leave all clients agreeing on the file's
+   contents, and every surviving byte must trace back to an operation
+   that was actually issued. *)
+
+open Ccpfs_util
+open Ccpfs
+
+let params =
+  {
+    Netsim.Params.rtt = 1e-4;
+    b_net = 1e9;
+    server_ops = 10_000.;
+    b_disk = 5e8;
+    b_mem = 2e9;
+    ctl_msg_bytes = 128;
+    bulk_threshold = 16 * 1024;
+    client_io_overhead = 0.;
+  }
+
+type op = Write of int * int | Read of int * int | Append of int
+
+let print_op = function
+  | Write (off, len) -> Printf.sprintf "w[%d,+%d)" off len
+  | Read (off, len) -> Printf.sprintf "r[%d,+%d)" off len
+  | Append len -> Printf.sprintf "a+%d" len
+
+type scenario = {
+  policy_idx : int;
+  stripes : int;
+  per_client : op list list; (* one op list per client *)
+}
+
+let gen_scenario =
+  let open QCheck.Gen in
+  let block = 4096 in
+  let op =
+    frequency
+      [
+        (6, map2 (fun b n -> Write (b * block, n * block)) (int_bound 24)
+             (int_range 1 6));
+        (2, map2 (fun b n -> Read (b * block, n * block)) (int_bound 24)
+             (int_range 1 6));
+        (1, map (fun n -> Append (n * block)) (int_range 1 3));
+      ]
+  in
+  let client_ops = list_size (int_range 1 8) op in
+  map3
+    (fun policy_idx stripes per_client -> { policy_idx; stripes; per_client })
+    (int_bound 3) (oneofl [ 1; 2; 4 ])
+    (list_size (int_range 2 4) client_ops)
+
+let print_scenario s =
+  Printf.sprintf "policy=%d stripes=%d %s" s.policy_idx s.stripes
+    (String.concat " | "
+       (List.map (fun ops -> String.concat "," (List.map print_op ops))
+          s.per_client))
+
+let run_scenario s =
+  let policy = List.nth Seqdlm.Policy.all s.policy_idx in
+  (* Datatype locking only differs for multi-range writes; it still must
+     pass this single-range workload. *)
+  let n = List.length s.per_client in
+  let cl =
+    Cluster.create ~params
+      ~config:
+        (Config.with_dirty_limits ~dirty_min:(4 * Units.mib)
+           ~dirty_max:(16 * Units.mib) Config.default)
+      ~policy ~n_servers:(min 2 s.stripes) ~n_clients:n ()
+  in
+  let issued = Hashtbl.create 64 in
+  List.iteri
+    (fun i ops ->
+      Cluster.spawn_client cl i ~name:(Printf.sprintf "chaos%d" i) (fun c ->
+          let layout =
+            Layout.v ~stripe_size:(16 * 4096) ~stripe_count:s.stripes ()
+          in
+          let f = Client.open_file c ~create:true ~layout "/chaos" in
+          List.iter
+            (fun op ->
+              match op with
+              | Write (off, len) ->
+                  Client.write c f ~off ~len;
+                  Hashtbl.replace issued (i, Client.ops c) ()
+              | Read (off, len) -> ignore (Client.read c f ~off ~len)
+              | Append len ->
+                  ignore (Client.append c f ~len);
+                  Hashtbl.replace issued (i, Client.ops c) ())
+            ops))
+    s.per_client;
+  Cluster.run cl;
+  Cluster.check_invariants cl;
+  (* Barrier passed: everyone reads everything and must agree. *)
+  let extent = 40 * 4096 in
+  let sums = Array.make n 0 in
+  let provenance_ok = ref true in
+  for i = 0 to n - 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "check%d" i) (fun c ->
+        let f = Client.open_file c "/chaos" in
+        sums.(i) <- Client.read_checksum c f ~off:0 ~len:extent;
+        Client.read c f ~off:0 ~len:extent
+        |> List.iter (fun (_, _, tag) ->
+               match tag with
+               | Some (t : Content.tag) ->
+                   if not (Hashtbl.mem issued (t.Content.writer, t.Content.op))
+                   then provenance_ok := false
+               | None -> ()))
+  done;
+  Cluster.run cl;
+  Cluster.check_invariants cl;
+  Array.for_all (fun x -> x = sums.(0)) sums && !provenance_ok
+
+let prop_chaos =
+  QCheck.Test.make ~name:"chaos: coherent, live and provenance-clean" ~count:60
+    (QCheck.make ~print:print_scenario gen_scenario)
+    run_scenario
+
+let suite =
+  [ ("pfs.chaos", [ QCheck_alcotest.to_alcotest ~long:false prop_chaos ]) ]

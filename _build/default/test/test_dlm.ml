@@ -1,0 +1,833 @@
+(* Tests for the lock manager core: modes, the Table II LCM, and
+   end-to-end lock-server/lock-client protocol scenarios. *)
+
+open Ccpfs_util
+open Dessim
+open Seqdlm
+
+let iv lo hi = Interval.v ~lo ~hi
+
+(* ------------------------------------------------------------------ *)
+(* Mode                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let all_modes = [ Mode.PR; Mode.NBW; Mode.BW; Mode.PW ]
+
+let mode = Alcotest.testable Mode.pp Mode.equal
+
+let test_mode_capabilities () =
+  Alcotest.(check bool) "PR reads" true (Mode.can_read Mode.PR);
+  Alcotest.(check bool) "PR no write" false (Mode.can_write Mode.PR);
+  Alcotest.(check bool) "NBW writes only" true
+    (Mode.can_write Mode.NBW && not (Mode.can_read Mode.NBW));
+  Alcotest.(check bool) "BW writes only" true
+    (Mode.can_write Mode.BW && not (Mode.can_read Mode.BW));
+  Alcotest.(check bool) "PW both" true
+    (Mode.can_read Mode.PW && Mode.can_write Mode.PW)
+
+let test_mode_join_table () =
+  Alcotest.check mode "PR+NBW=PW" Mode.PW (Mode.join Mode.PR Mode.NBW);
+  Alcotest.check mode "PR+BW=PW" Mode.PW (Mode.join Mode.PR Mode.BW);
+  Alcotest.check mode "NBW+BW=BW" Mode.BW (Mode.join Mode.NBW Mode.BW);
+  Alcotest.check mode "NBW+NBW=NBW" Mode.NBW (Mode.join Mode.NBW Mode.NBW);
+  Alcotest.check mode "PR+PR=PR" Mode.PR (Mode.join Mode.PR Mode.PR);
+  List.iter
+    (fun m -> Alcotest.check mode "PW absorbs" Mode.PW (Mode.join m Mode.PW))
+    all_modes
+
+let prop_join_lattice =
+  let open QCheck in
+  let gen_mode = Gen.oneofl all_modes in
+  Test.make ~name:"join is a commutative idempotent upper bound" ~count:200
+    (make
+       ~print:(fun (a, b) -> Mode.to_string a ^ "," ^ Mode.to_string b)
+       Gen.(pair gen_mode gen_mode))
+    (fun (a, b) ->
+      let j = Mode.join a b in
+      Mode.equal j (Mode.join b a)
+      && Mode.equal (Mode.join a a) a
+      (* the join grants every capability of both arguments *)
+      && (not (Mode.can_read a) || Mode.can_read j)
+      && (not (Mode.can_write a) || Mode.can_write j)
+      && (not (Mode.can_read b) || Mode.can_read j)
+      && (not (Mode.can_write b) || Mode.can_write j)
+      && Mode.severity j >= Mode.severity a
+      && Mode.severity j >= Mode.severity b)
+
+let test_mode_subsumes () =
+  (* A cached lock serves an operation iff it grants every capability the
+     selected mode needs, per the usable-mode table. *)
+  let expect = function
+    | Mode.PR, (Mode.PR | Mode.PW) -> true
+    | Mode.NBW, (Mode.NBW | Mode.BW | Mode.PW) -> true
+    | Mode.BW, (Mode.BW | Mode.PW) -> true
+    | Mode.PW, Mode.PW -> true
+    | _ -> false
+  in
+  List.iter
+    (fun wanted ->
+      List.iter
+        (fun cached ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cached %s serves %s" (Mode.to_string cached)
+               (Mode.to_string wanted))
+            (expect (wanted, cached))
+            (Mode.subsumes ~cached ~wanted))
+        all_modes)
+    all_modes
+
+(* ------------------------------------------------------------------ *)
+(* LCM — exact Table II                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lcm_table2 () =
+  let expect req granted state =
+    match (req, granted, state) with
+    | Mode.PR, Mode.PR, _ -> true
+    | (Mode.NBW | Mode.BW), Mode.NBW, Lcm.Canceling -> true
+    | _ -> false
+  in
+  List.iter
+    (fun req ->
+      List.iter
+        (fun granted ->
+          List.iter
+            (fun state ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s vs %s(%s)" (Mode.to_string req)
+                   (Mode.to_string granted)
+                   (Lcm.state_to_string state))
+                (expect req granted state)
+                (Lcm.compatible ~req ~granted ~state))
+            [ Lcm.Granted; Lcm.Canceling ])
+        all_modes)
+    all_modes
+
+let test_lcm_pw_blocks_everything () =
+  List.iter
+    (fun req ->
+      List.iter
+        (fun state ->
+          Alcotest.(check bool) "PW column all N" false
+            (Lcm.compatible ~req ~granted:Mode.PW ~state);
+          Alcotest.(check bool) "PW row all N" false
+            (Lcm.compatible ~req:Mode.PW ~granted:req ~state))
+        [ Lcm.Granted; Lcm.Canceling ])
+    all_modes
+
+(* ------------------------------------------------------------------ *)
+(* Types helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ranges_overlap () =
+  let a = [ iv 0 10; iv 20 30 ] and b = [ iv 10 20 ] in
+  Alcotest.(check bool) "interleaved disjoint" false (Types.ranges_overlap a b);
+  Alcotest.(check bool) "hit second" true
+    (Types.ranges_overlap a [ iv 25 26 ]);
+  Alcotest.(check bool) "empty" false (Types.ranges_overlap [] a)
+
+let test_normalize_ranges () =
+  let got = Types.normalize_ranges [ iv 20 30; iv 0 10; iv 10 20; iv 40 50 ] in
+  Alcotest.(check (list (pair int int)))
+    "sorted and merged"
+    [ (0, 30); (40, 50) ]
+    (List.map (fun (i : Interval.t) -> (i.lo, i.hi)) got)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol scenarios                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Time constants chosen so phases are easy to tell apart: RTT 1 ms,
+   1 ms of server service per RPC, negligible payload cost. *)
+let params =
+  {
+    Netsim.Params.rtt = 1e-3;
+    b_net = 1e12;
+    server_ops = 1000.;
+    b_disk = 1e12;
+    b_mem = 1e12;
+    ctl_msg_bytes = 0;
+    bulk_threshold = 16 * 1024;
+    client_io_overhead = 0.;
+  }
+
+type world = {
+  eng : Engine.t;
+  server : Lock_server.t;
+  clients : Lock_client.t array;
+  flush_time : float ref;
+  flush_log : (int * float * float) list ref; (* client, start, end *)
+  dirty : bool ref;
+}
+
+let make_world ?(n = 4) ?(policy = Policy.seqdlm) () =
+  let eng = Engine.create () in
+  let snode = Netsim.Node.create eng params ~name:"server" () in
+  let server = Lock_server.create eng params ~node:snode ~name:"ls" ~policy in
+  let flush_time = ref 0.1 in
+  let flush_log = ref [] in
+  let dirty = ref true in
+  let clients =
+    Array.init n (fun i ->
+        let node = Netsim.Node.create eng params ~name:(Printf.sprintf "c%d" i) () in
+        let hooks =
+          {
+            Lock_client.flush =
+              (fun ~rid:_ ~ranges:_ ->
+                let t0 = Engine.now eng in
+                Engine.sleep eng !flush_time;
+                flush_log := (i, t0, Engine.now eng) :: !flush_log);
+            has_dirty = (fun ~rid:_ ~ranges:_ -> !dirty);
+            invalidate = (fun ~rid:_ ~ranges:_ -> ());
+          }
+        in
+        Lock_client.create eng params ~node ~client_id:i
+          ~route:(fun _ -> server)
+          ~hooks)
+  in
+  { eng; server; clients; flush_time; flush_log; dirty }
+
+let spawn w name f = Engine.spawn w.eng ~name f
+let run w = Engine.run w.eng
+
+let test_grant_and_expansion () =
+  let w = make_world () in
+  let got = ref None in
+  spawn w "c0" (fun () ->
+      let h =
+        Lock_client.acquire w.clients.(0) ~rid:1 ~mode:Mode.NBW
+          ~ranges:[ iv 4096 8192 ]
+      in
+      got := Some (Lock_client.granted_ranges h, Lock_client.sn h);
+      Lock_client.release w.clients.(0) h);
+  run w;
+  (match !got with
+  | Some ([ r ], sn) ->
+      Alcotest.(check int) "lo kept" 4096 r.Interval.lo;
+      Alcotest.(check int) "end expanded to EOF" Interval.eof r.Interval.hi;
+      Alcotest.(check int) "first write SN" 1 sn
+  | _ -> Alcotest.fail "expected one expanded range");
+  Alcotest.(check int) "one grant" 1 (Lock_server.stats w.server).grants;
+  Lock_server.check_invariants w.server
+
+let test_cache_reuse () =
+  let w = make_world () in
+  spawn w "c0" (fun () ->
+      let c = w.clients.(0) in
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.NBW ~ranges:[ iv 0 4096 ]
+        (fun _ -> ());
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.NBW ~ranges:[ iv 8192 12288 ]
+        (fun _ -> ()));
+  run w;
+  Alcotest.(check int) "one server grant" 1 (Lock_server.stats w.server).grants;
+  Alcotest.(check int) "one cache hit" 1 (Lock_client.cache_hits w.clients.(0));
+  Alcotest.(check int) "lock stays cached" 1
+    (Lock_client.cached_locks w.clients.(0))
+
+let test_pw_conflict_waits_for_flush () =
+  (* Traditional (normal grant): the second client's grant waits for
+     revocation + data flushing + release of the first. *)
+  let w = make_world ~policy:Policy.dlm_basic () in
+  w.flush_time := 0.5;
+  let t_grant1 = ref 0. and t_grant0 = ref 0. in
+  spawn w "c0" (fun () ->
+      Lock_client.with_lock w.clients.(0) ~rid:1 ~mode:Mode.PW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> t_grant0 := Engine.now w.eng));
+  spawn w "c1" (fun () ->
+      Engine.sleep w.eng 0.01;
+      Lock_client.with_lock w.clients.(1) ~rid:1 ~mode:Mode.PW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> t_grant1 := Engine.now w.eng));
+  run w;
+  (match !(w.flush_log) with
+  | [ (0, fstart, fend) ] ->
+      Alcotest.(check bool) "flush happened" true (fstart > !t_grant0);
+      Alcotest.(check bool) "grant 1 after flush end" true (!t_grant1 > fend)
+  | l -> Alcotest.fail (Printf.sprintf "expected one flush, got %d" (List.length l)));
+  Alcotest.(check int) "one revocation" 1 (Lock_server.stats w.server).revokes_sent;
+  Alcotest.(check int) "no early grant" 0 (Lock_server.stats w.server).early_grants
+
+let test_early_grant_overlaps_flush () =
+  (* SeqDLM NBW: the second grant arrives while the first holder's data
+     flushing is still in flight (Fig. 6, right). *)
+  let w = make_world () in
+  w.flush_time := 0.5;
+  let t_grant1 = ref 0. in
+  spawn w "c0" (fun () ->
+      Lock_client.with_lock w.clients.(0) ~rid:1 ~mode:Mode.NBW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> ()));
+  spawn w "c1" (fun () ->
+      Engine.sleep w.eng 0.01;
+      Lock_client.with_lock w.clients.(1) ~rid:1 ~mode:Mode.NBW
+        ~ranges:[ iv 0 4096 ]
+        (fun h ->
+          t_grant1 := Engine.now w.eng;
+          Alcotest.(check int) "second write SN" 2 (Lock_client.sn h)));
+  run w;
+  (match List.rev !(w.flush_log) with
+  | (0, fstart, fend) :: _ ->
+      Alcotest.(check bool) "grant before flush completed" true
+        (!t_grant1 < fend);
+      Alcotest.(check bool) "but after flush started" true (!t_grant1 > fstart -. 1e-9)
+  | _ -> Alcotest.fail "expected c0's flush first");
+  Alcotest.(check bool) "early grant counted" true
+    ((Lock_server.stats w.server).early_grants >= 1);
+  Lock_server.check_invariants w.server
+
+let test_early_revocation_piggyback () =
+  (* Simultaneous conflicting requests: with ER the server tags grants
+     CANCELING instead of sending revocation callbacks. *)
+  let run_with policy =
+    let w = make_world ~policy () in
+    w.flush_time := 0.01;
+    for i = 0 to 3 do
+      spawn w (Printf.sprintf "c%d" i) (fun () ->
+          Lock_client.with_lock w.clients.(i) ~rid:1 ~mode:Mode.NBW
+            ~ranges:[ Interval.to_eof ~lo:0 ]
+            (fun _ -> ()))
+    done;
+    run w;
+    Lock_server.stats w.server
+  in
+  let er = run_with Policy.seqdlm in
+  let no_er = run_with (Policy.without_early_revocation Policy.seqdlm) in
+  (* The very first request is granted before any conflict is queued, so
+     it still needs one classic revocation; every later grant sees the
+     queue and is tagged CANCELING instead. *)
+  Alcotest.(check bool) "ER piggybacked" true (er.early_revocations >= 2);
+  Alcotest.(check bool) "ER avoids callbacks" true (er.revokes_sent <= 1);
+  Alcotest.(check int) "no piggyback without ER" 0 no_er.early_revocations;
+  Alcotest.(check bool) "callbacks without ER" true (no_er.revokes_sent >= 3)
+
+let test_sequencer_monotonic () =
+  let w = make_world ~n:8 () in
+  w.flush_time := 0.001;
+  let sns = ref [] in
+  for i = 0 to 7 do
+    spawn w (Printf.sprintf "c%d" i) (fun () ->
+        for _ = 1 to 5 do
+          Lock_client.with_lock w.clients.(i) ~rid:1 ~mode:Mode.NBW
+            ~ranges:[ Interval.to_eof ~lo:0 ]
+            (fun h -> sns := Lock_client.sn h :: !sns)
+        done)
+  done;
+  run w;
+  let sns = List.rev !sns in
+  Alcotest.(check bool) "SNs positive" true (List.for_all (fun s -> s >= 1) sns);
+  (* Cache hits legitimately reuse an SN, but the server's counter must
+     dominate everything handed out and each *grant* got a fresh SN. *)
+  let stats = Lock_server.stats w.server in
+  let max_sn = List.fold_left max 0 sns in
+  Alcotest.(check bool) "server SN counter dominates" true
+    (Lock_server.next_sn w.server 1 > max_sn);
+  Alcotest.(check int) "one SN per grant" (stats.grants + 1)
+    (Lock_server.next_sn w.server 1);
+  Lock_server.check_invariants w.server
+
+let test_expansion_bounded_by_waiter () =
+  (* A queued conflicting request above the grant bounds expansion: the
+     N-1 segmented case where each client ends up owning its segment.
+     c2 holds a whole-file lock so that c0's and c1's requests are both
+     queued when the grants are finally processed. *)
+  let w = make_world () in
+  w.flush_time := 0.05;
+  let r0 = ref [] and r1 = ref [] in
+  spawn w "c2" (fun () ->
+      Lock_client.with_lock w.clients.(2) ~rid:1 ~mode:Mode.NBW
+        ~ranges:[ Interval.to_eof ~lo:0 ]
+        (fun _ -> ()));
+  spawn w "c0" (fun () ->
+      Engine.sleep w.eng 0.01;
+      Lock_client.with_lock w.clients.(0) ~rid:1 ~mode:Mode.NBW
+        ~ranges:[ iv 0 4096 ]
+        (fun h -> r0 := Lock_client.granted_ranges h));
+  spawn w "c1" (fun () ->
+      Engine.sleep w.eng 0.012;
+      Lock_client.with_lock w.clients.(1) ~rid:1 ~mode:Mode.NBW
+        ~ranges:[ iv 1_048_576 1_052_672 ]
+        (fun _ -> ()));
+  run w;
+  (match !r0 with
+  | [ r ] ->
+      Alcotest.(check int) "expansion stops at waiter" 1_048_576 r.Interval.hi
+  | _ -> Alcotest.fail "expected a single range");
+  ignore r1;
+  Lock_server.check_invariants w.server
+
+let test_lustre_cap_after_threshold () =
+  let w = make_world ~policy:Policy.dlm_lustre () in
+  w.flush_time := 0.0;
+  let last_range = ref None in
+  spawn w "c0" (fun () ->
+      let c = w.clients.(0) in
+      (* Burn through the grant threshold on rid 1 with releases forced by
+         a conflicting partner. *)
+      for k = 0 to 39 do
+        let lo = k * 8192 in
+        let h =
+          Lock_client.acquire c ~rid:1 ~mode:Mode.PW ~ranges:[ iv lo (lo + 4096) ]
+        in
+        last_range := Some (Lock_client.granted_ranges h);
+        Lock_client.release c h;
+        (* Partner forces the cached lock away so each iteration issues a
+           fresh request. *)
+        Lock_client.with_lock w.clients.(1) ~rid:1 ~mode:Mode.PW
+          ~ranges:[ iv lo (lo + 4096) ]
+          (fun _ -> ())
+      done);
+  run w;
+  (match !last_range with
+  | Some [ r ] ->
+      let len = r.Interval.hi - r.Interval.lo in
+      Alcotest.(check bool)
+        (Printf.sprintf "capped to <= 32MiB + request (got %d)" len)
+        true
+        (len <= (32 * 1024 * 1024) + 4096)
+  | _ -> Alcotest.fail "expected a granted range");
+  Lock_server.check_invariants w.server
+
+let test_datatype_exact_ranges () =
+  let w = make_world ~policy:Policy.dlm_datatype () in
+  let got = ref [] in
+  (* Interleaved non-contiguous writes from two clients, disjoint: both
+     must hold grants concurrently. *)
+  let concurrent = ref 0 and max_concurrent = ref 0 in
+  let ranges_of i =
+    List.init 4 (fun k -> iv ((k * 8192) + (i * 4096)) ((k * 8192) + (i * 4096) + 4096))
+  in
+  for i = 0 to 1 do
+    spawn w (Printf.sprintf "c%d" i) (fun () ->
+        Lock_client.with_lock w.clients.(i) ~rid:1 ~mode:Mode.PW
+          ~ranges:(ranges_of i)
+          (fun h ->
+            incr concurrent;
+            if !concurrent > !max_concurrent then max_concurrent := !concurrent;
+            got := (i, Lock_client.granted_ranges h) :: !got;
+            Engine.sleep w.eng 0.1;
+            decr concurrent))
+  done;
+  run w;
+  Alcotest.(check int) "disjoint datatype locks run concurrently" 2
+    !max_concurrent;
+  List.iter
+    (fun (i, ranges) ->
+      Alcotest.(check int) "no expansion: 4 ranges" 4 (List.length ranges);
+      Alcotest.(check bool) "exact ranges" true
+        (List.for_all2 Interval.equal ranges (ranges_of i)))
+    !got;
+  Alcotest.(check int) "no revocations" 0 (Lock_server.stats w.server).revokes_sent
+
+let test_upgrade_same_client () =
+  (* Fig. 11: a PR request conflicting with the client's own NBW lock is
+     upgraded to PW and merged — no revocation round-trip. *)
+  let w = make_world () in
+  let final_mode = ref Mode.PR in
+  spawn w "c0" (fun () ->
+      let c = w.clients.(0) in
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.NBW ~ranges:[ iv 0 4096 ]
+        (fun _ -> ());
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.PR ~ranges:[ iv 0 4096 ]
+        (fun h -> final_mode := Lock_client.mode h);
+      (* Both reads and writes now reuse the merged PW lock. *)
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.NBW ~ranges:[ iv 0 4096 ]
+        (fun _ -> ());
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.PR ~ranges:[ iv 4096 8192 ]
+        (fun _ -> ()));
+  run w;
+  Alcotest.check mode "upgraded to PW" Mode.PW !final_mode;
+  let s = Lock_server.stats w.server in
+  Alcotest.(check int) "no revocations" 0 s.revokes_sent;
+  Alcotest.(check int) "one upgrade" 1 s.upgrades;
+  Alcotest.(check int) "two server grants total" 2 s.grants;
+  Alcotest.(check int) "single cached lock after merge" 1
+    (Lock_client.cached_locks w.clients.(0));
+  Lock_server.check_invariants w.server
+
+let test_no_upgrade_without_conversion () =
+  (* Same sequence with conversion disabled (Fig. 11(a)): the client's
+     own cached NBW lock must be revoked — flush + release — before the
+     PR grant, because NBW cannot serve the read. *)
+  let w = make_world ~policy:(Policy.without_conversion Policy.seqdlm) () in
+  spawn w "c0" (fun () ->
+      let c = w.clients.(0) in
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.NBW ~ranges:[ iv 0 4096 ]
+        (fun _ -> ());
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.PR ~ranges:[ iv 0 4096 ]
+        (fun _ -> ()));
+  run w;
+  let s = Lock_server.stats w.server in
+  Alcotest.(check int) "own lock revoked" 1 s.revokes_sent;
+  Alcotest.(check int) "no upgrades" 0 s.upgrades;
+  Alcotest.(check int) "flushed own dirty data" 1 (List.length !(w.flush_log))
+
+let test_downgrade_bw_to_nbw () =
+  (* Fig. 12: with conversion, a BW lock being cancelled downgrades to
+     NBW first, so the conflicting BW request is granted while the flush
+     is still running. *)
+  let run_with policy =
+    let w = make_world ~policy () in
+    w.flush_time := 0.5;
+    let t_grant1 = ref 0. in
+    spawn w "c0" (fun () ->
+        Lock_client.with_lock w.clients.(0) ~rid:1 ~mode:Mode.BW
+          ~ranges:[ iv 0 4096 ]
+          (fun _ -> ()));
+    spawn w "c1" (fun () ->
+        Engine.sleep w.eng 0.01;
+        Lock_client.with_lock w.clients.(1) ~rid:1 ~mode:Mode.BW
+          ~ranges:[ iv 0 4096 ]
+          (fun _ -> t_grant1 := Engine.now w.eng));
+    run w;
+    let fend =
+      match List.rev !(w.flush_log) with
+      | (0, _, fend) :: _ -> fend
+      | _ -> Alcotest.fail "expected c0's flush first"
+    in
+    (!t_grant1, fend, Lock_server.stats w.server)
+  in
+  let t1, fend, s = run_with Policy.seqdlm in
+  Alcotest.(check bool) "granted during flush" true (t1 < fend);
+  Alcotest.(check int) "one downgrade" 1 s.downgrades;
+  let t1', fend', s' = run_with (Policy.without_conversion Policy.seqdlm) in
+  Alcotest.(check bool) "without conversion waits for flush" true (t1' > fend');
+  Alcotest.(check int) "no downgrades" 0 s'.downgrades
+
+let test_upgrade_reclaims_other_readers () =
+  (* §III-D1: upgrading to PW while other clients cache conflicting PR
+     locks first reclaims those PR locks — all except the requester's. *)
+  let w = make_world () in
+  w.dirty := false;
+  let got_mode = ref Mode.PR in
+  (* Clients 1 and 2 cache PR locks. *)
+  for i = 1 to 2 do
+    spawn w (Printf.sprintf "r%d" i) (fun () ->
+        Lock_client.with_lock w.clients.(i) ~rid:1 ~mode:Mode.PR
+          ~ranges:[ iv 0 4096 ]
+          (fun _ -> ()))
+  done;
+  (* Client 0 reads, then writes: its PR lock upgrades to PW, which
+     requires revoking the other readers but NOT client 0's own PR. *)
+  spawn w "c0" (fun () ->
+      Engine.sleep w.eng 0.05;
+      let c = w.clients.(0) in
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.PR ~ranges:[ iv 0 4096 ]
+        (fun _ -> ());
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.NBW ~ranges:[ iv 0 4096 ]
+        (fun h -> got_mode := Lock_client.mode h));
+  run w;
+  Alcotest.check mode "merged own PR into PW" Mode.PW !got_mode;
+  let s = Lock_server.stats w.server in
+  Alcotest.(check int) "revoked exactly the other two readers" 2 s.revokes_sent;
+  Alcotest.(check int) "one cached lock left on c0" 1
+    (Lock_client.cached_locks w.clients.(0));
+  Lock_server.check_invariants w.server
+
+let test_upgrade_nbw_plus_bw () =
+  (* Fig. 9's middle edge: a BW request over the client's own NBW lock
+     joins at BW (not PW — no read capability was requested). *)
+  let w = make_world () in
+  let got_mode = ref Mode.PR in
+  spawn w "c0" (fun () ->
+      let c = w.clients.(0) in
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.NBW ~ranges:[ iv 0 4096 ]
+        (fun _ -> ());
+      Lock_client.with_lock c ~rid:1 ~mode:Mode.BW ~ranges:[ iv 0 4096 ]
+        (fun h -> got_mode := Lock_client.mode h));
+  run w;
+  Alcotest.check mode "NBW+BW joins at BW" Mode.BW !got_mode;
+  Alcotest.(check int) "no revocations" 0 (Lock_server.stats w.server).revokes_sent
+
+let test_early_revoked_grant_cancels_after_use () =
+  (* A grant carrying the CANCELING state is used once and then cancels
+     itself — no callback ever needed. *)
+  let w = make_world () in
+  w.flush_time := 0.01;
+  for i = 0 to 2 do
+    spawn w (Printf.sprintf "c%d" i) (fun () ->
+        Lock_client.with_lock w.clients.(i) ~rid:1 ~mode:Mode.NBW
+          ~ranges:[ Interval.to_eof ~lo:0 ]
+          (fun _ -> Engine.sleep w.eng 0.001))
+  done;
+  run w;
+  let s = Lock_server.stats w.server in
+  (* Every CANCELING grant self-cancels after its single use; only the
+     final grant — nothing queued behind it — stays cached. *)
+  Alcotest.(check int) "all but the last grant released" (s.grants - 1)
+    s.releases;
+  let remaining = Lock_server.granted_locks w.server 1 in
+  Alcotest.(check int) "one lock left on the server" 1 (List.length remaining);
+  (match remaining with
+  | [ v ] ->
+      Alcotest.(check bool) "and it is GRANTED" true (v.v_state = Lcm.Granted)
+  | _ -> Alcotest.fail "expected one lock");
+  let cached_total =
+    List.fold_left
+      (fun acc i -> acc + Lock_client.cached_locks w.clients.(i))
+      0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "exactly one client still caches it" 1 cached_total
+
+let test_downgrade_pw_to_pr_when_clean () =
+  (* A PW lock with no dirty data downgrades to PR on cancel, letting a
+     pending reader in before the release round-trip. *)
+  let w = make_world () in
+  w.dirty := false;
+  spawn w "c0" (fun () ->
+      Lock_client.with_lock w.clients.(0) ~rid:1 ~mode:Mode.PW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> ()));
+  spawn w "c1" (fun () ->
+      Engine.sleep w.eng 0.01;
+      Lock_client.with_lock w.clients.(1) ~rid:1 ~mode:Mode.PR
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> ()));
+  run w;
+  let s = Lock_server.stats w.server in
+  Alcotest.(check int) "downgraded" 1 s.downgrades;
+  Alcotest.(check int) "no flush for clean PW" 0 (List.length !(w.flush_log));
+  Lock_server.check_invariants w.server
+
+let test_min_unreleased_write_sn () =
+  let w = make_world () in
+  w.flush_time := 0.2;
+  spawn w "c0" (fun () ->
+      Lock_client.with_lock w.clients.(0) ~rid:7 ~mode:Mode.NBW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ ->
+          Alcotest.(check (option int))
+            "one unreleased write lock" (Some 1)
+            (Lock_server.min_unreleased_write_sn w.server 7 (iv 0 1_000_000))));
+  run w;
+  (* Still cached (never revoked) => still unreleased. *)
+  Alcotest.(check (option int))
+    "cached lock still unreleased" (Some 1)
+    (Lock_server.min_unreleased_write_sn w.server 7 (iv 0 4096));
+  Alcotest.(check (option int))
+    "unknown resource has none" None
+    (Lock_server.min_unreleased_write_sn w.server 999 (iv 0 4096))
+
+let test_min_unreleased_none_after_release () =
+  let w = make_world () in
+  spawn w "c0" (fun () ->
+      Lock_client.with_lock w.clients.(0) ~rid:7 ~mode:Mode.NBW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> ()));
+  spawn w "c1" (fun () ->
+      Engine.sleep w.eng 0.05;
+      Lock_client.with_lock w.clients.(1) ~rid:7 ~mode:Mode.NBW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> ()));
+  run w;
+  (* c0's lock was revoked and released; c1's is still cached. *)
+  match Lock_server.min_unreleased_write_sn w.server 7 (iv 0 4096) with
+  | Some sn2 -> Alcotest.(check int) "only the newer lock remains" 2 sn2
+  | None -> Alcotest.fail "expected c1's lock to be unreleased"
+
+let test_sync_resource () =
+  let w = make_world () in
+  w.flush_time := 0.3;
+  let synced_at = ref 0. in
+  spawn w "c0" (fun () ->
+      Lock_client.with_lock w.clients.(0) ~rid:3 ~mode:Mode.NBW
+        ~ranges:[ iv 0 4096 ]
+        (fun _ -> ()));
+  spawn w "syncer" (fun () ->
+      Engine.sleep w.eng 0.05;
+      let done_ = Ivar.create w.eng in
+      Lock_server.sync_resource w.server 3 ~on_behalf:(-1) ~reply:(fun () ->
+          Ivar.fill done_ ());
+      Ivar.read done_;
+      synced_at := Engine.now w.eng);
+  run w;
+  (* The sync completes only after c0's flush (0.3 s) and release. *)
+  (match List.rev !(w.flush_log) with
+  | (0, _, fend) :: _ ->
+      Alcotest.(check bool) "sync after flush" true (!synced_at >= fend)
+  | _ -> Alcotest.fail "expected c0's flush first");
+  Alcotest.(check int) "pseudo-lock dropped" 0
+    (List.length (Lock_server.granted_locks w.server 3))
+
+(* Randomised stress: clients issue random-mode random-range locks; the
+   run must terminate (no deadlock), keep server invariants, and leave
+   the queue empty. *)
+let prop_random_protocol =
+  let open QCheck in
+  let scenario =
+    Gen.(
+      list_size (int_range 5 40)
+        (triple (int_bound 3) (oneofl all_modes) (pair (int_bound 15) (int_range 1 8))))
+  in
+  let print_step (c, m, (blk, len)) =
+    Printf.sprintf "c%d:%s@[%d,+%d)" c (Mode.to_string m) blk len
+  in
+  Test.make ~name:"random lock traffic: live, fair, invariant-preserving"
+    ~count:60
+    (make ~print:Print.(list print_step) scenario)
+    (fun steps ->
+      let w = make_world ~n:4 () in
+      w.flush_time := 0.003;
+      let completed = ref 0 in
+      List.iteri
+        (fun idx (c, m, (blk, len)) ->
+          spawn w
+            (Printf.sprintf "op%d" idx)
+            (fun () ->
+              Engine.sleep w.eng (float_of_int idx *. 1e-4);
+              let lo = blk * 4096 in
+              let ranges = [ iv lo (lo + (len * 4096)) ] in
+              Lock_client.with_lock w.clients.(c) ~rid:1 ~mode:m ~ranges
+                (fun _ ->
+                  Engine.sleep w.eng 1e-4;
+                  incr completed)))
+        steps;
+      run w;
+      Lock_server.check_invariants w.server;
+      !completed = List.length steps
+      && Lock_server.queue_length w.server 1 = 0)
+
+(* Tracer-based grant-contract property: every grant must cover its
+   request, never expand the start, use a fresh SN per write grant, and
+   only carry the CANCELING state when early revocation is on. *)
+let prop_grant_contract =
+  let open QCheck in
+  let scenario =
+    Gen.(
+      pair (int_bound 2)
+        (list_size (int_range 3 25)
+           (triple (int_bound 3) (oneofl all_modes)
+              (pair (int_bound 20) (int_range 1 6)))))
+  in
+  let print_s (p, steps) =
+    Printf.sprintf "policy=%d %s" p
+      (String.concat ";"
+         (List.map
+            (fun (c, m, (b, n)) ->
+              Printf.sprintf "c%d:%s[%d,+%d)" c (Mode.to_string m) b n)
+            steps))
+  in
+  Test.make ~name:"grants cover requests, never expand lo, fresh write SNs"
+    ~count:60
+    (make ~print:print_s scenario)
+    (fun (policy_idx, steps) ->
+      let policy =
+        List.nth
+          [ Policy.seqdlm; Policy.dlm_basic;
+            Policy.without_early_revocation Policy.seqdlm ]
+          policy_idx
+      in
+      let w = make_world ~n:4 ~policy () in
+      w.flush_time := 0.002;
+      let ok = ref true in
+      (* Tracer-side checks: write-grant SNs are never reused on a
+         resource, the mode only ever upgrades, and CANCELING grants
+         appear only when early revocation is on. *)
+      let write_sns = Hashtbl.create 64 in
+      Lock_server.set_tracer w.server (fun _now ev ->
+          match ev with
+          | Lock_server.T_grant (g, _) ->
+              if Mode.is_write g.Types.mode then begin
+                if Hashtbl.mem write_sns (g.Types.rid, g.Types.sn) then
+                  ok := false;
+                Hashtbl.replace write_sns (g.Types.rid, g.Types.sn) ()
+              end;
+              if
+                g.Types.state = Lcm.Canceling
+                && not policy.Policy.early_revocation
+              then ok := false
+          | Lock_server.T_request _ | Lock_server.T_revoke _
+          | Lock_server.T_ack _ | Lock_server.T_release _
+          | Lock_server.T_downgrade _ -> ());
+      (* Client-side checks at every acquire: the held lock covers the
+         requested range, never starts above it, and its mode subsumes
+         the requested one. *)
+      List.iteri
+        (fun idx (c, m, (blk, len)) ->
+          spawn w
+            (Printf.sprintf "op%d" idx)
+            (fun () ->
+              Engine.sleep w.eng (float_of_int idx *. 1e-4);
+              let lo = blk * 4096 in
+              let req = iv lo (lo + (len * 4096)) in
+              Lock_client.with_lock w.clients.(c) ~rid:1 ~mode:m
+                ~ranges:[ req ]
+                (fun h ->
+                  let hull = Types.ranges_hull (Lock_client.granted_ranges h) in
+                  if not (Interval.contains hull req) then ok := false;
+                  if hull.Interval.lo > req.Interval.lo then ok := false;
+                  if
+                    not
+                      (Mode.subsumes ~cached:(Lock_client.mode h) ~wanted:m)
+                  then ok := false;
+                  Engine.sleep w.eng 1e-4)))
+        steps;
+      run w;
+      Lock_server.check_invariants w.server;
+      !ok)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "dlm.mode",
+      [
+        Alcotest.test_case "capabilities" `Quick test_mode_capabilities;
+        Alcotest.test_case "join table (Fig. 9)" `Quick test_mode_join_table;
+        Alcotest.test_case "subsumes table" `Quick test_mode_subsumes;
+        q prop_join_lattice;
+      ] );
+    ( "dlm.lcm",
+      [
+        Alcotest.test_case "Table II exact" `Quick test_lcm_table2;
+        Alcotest.test_case "PW blocks everything" `Quick
+          test_lcm_pw_blocks_everything;
+        Alcotest.test_case "ranges_overlap" `Quick test_ranges_overlap;
+        Alcotest.test_case "normalize_ranges" `Quick test_normalize_ranges;
+      ] );
+    ( "dlm.protocol",
+      [
+        Alcotest.test_case "grant + EOF expansion" `Quick
+          test_grant_and_expansion;
+        Alcotest.test_case "cache reuse" `Quick test_cache_reuse;
+        Alcotest.test_case "normal grant waits for flush" `Quick
+          test_pw_conflict_waits_for_flush;
+        Alcotest.test_case "early grant overlaps flush (Fig. 6)" `Quick
+          test_early_grant_overlaps_flush;
+        Alcotest.test_case "early revocation piggyback" `Quick
+          test_early_revocation_piggyback;
+        Alcotest.test_case "sequencer SNs unique" `Quick
+          test_sequencer_monotonic;
+        Alcotest.test_case "expansion bounded by waiter" `Quick
+          test_expansion_bounded_by_waiter;
+        Alcotest.test_case "DLM-Lustre expansion cap" `Quick
+          test_lustre_cap_after_threshold;
+        Alcotest.test_case "datatype exact ranges" `Quick
+          test_datatype_exact_ranges;
+      ] );
+    ( "dlm.conversion",
+      [
+        Alcotest.test_case "upgrade NBW+PR -> PW (Fig. 11)" `Quick
+          test_upgrade_same_client;
+        Alcotest.test_case "no upgrade without conversion" `Quick
+          test_no_upgrade_without_conversion;
+        Alcotest.test_case "downgrade BW -> NBW (Fig. 12)" `Quick
+          test_downgrade_bw_to_nbw;
+        Alcotest.test_case "downgrade clean PW -> PR" `Quick
+          test_downgrade_pw_to_pr_when_clean;
+        Alcotest.test_case "upgrade reclaims other readers" `Quick
+          test_upgrade_reclaims_other_readers;
+        Alcotest.test_case "NBW+BW joins at BW" `Quick test_upgrade_nbw_plus_bw;
+        Alcotest.test_case "early-revoked grant self-cancels" `Quick
+          test_early_revoked_grant_cancels_after_use;
+      ] );
+    ( "dlm.server",
+      [
+        Alcotest.test_case "min unreleased write SN" `Quick
+          test_min_unreleased_write_sn;
+        Alcotest.test_case "mSN after release" `Quick
+          test_min_unreleased_none_after_release;
+        Alcotest.test_case "sync_resource" `Quick test_sync_resource;
+        q prop_random_protocol;
+        q prop_grant_contract;
+      ] );
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "seqdlm"
+    (List.concat
+       [
+         Test_util.suite;
+         Test_sim.suite;
+         Test_net.suite;
+         Test_dlm.suite;
+         Test_pfs.suite;
+         Test_workloads.suite;
+         Test_analytic.suite;
+         Test_recovery.suite;
+         Test_chaos.suite;
+         Test_meta.suite;
+         Test_experiments.suite;
+       ])

@@ -1,0 +1,166 @@
+(* Tests for the simulated RPC transport (lib/net). *)
+
+open Dessim
+open Netsim
+
+let feq msg = Alcotest.(check (float 1e-9)) msg
+
+let params =
+  (* Round numbers make latencies easy to assert: RTT 1 ms, 1 MB/s NIC,
+     100 ops/s service, 1 MB/s disk. *)
+  {
+    Params.rtt = 1e-3;
+    b_net = 1e6;
+    server_ops = 100.;
+    b_disk = 1e6;
+    b_mem = 1e6;
+    ctl_msg_bytes = 0;
+    bulk_threshold = 16 * 1024;
+    client_io_overhead = 0.;
+  }
+
+let test_call_latency () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let client = Node.create eng params ~name:"c" () in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"echo"
+      ~handler:(fun x ~reply -> reply (x + 1))
+  in
+  let got = ref 0 and at = ref 0. in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      got := Rpc.call ep ~src:client 41;
+      at := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "reply value" 42 !got;
+  (* rtt/2 + 1/ops + rtt/2 = 0.5ms + 10ms + 0.5ms *)
+  feq "latency = rtt + service" 0.011 !at;
+  Alcotest.(check int) "one call" 1 (Rpc.calls ep)
+
+let test_call_payload_bandwidth () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let client = Node.create eng params ~name:"c" () in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"put"
+      ~handler:(fun () ~reply -> reply ())
+  in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      Rpc.call ep ~src:client ~req_bytes:1_000_000 ();
+      (* 0.5ms + 1s pipe + 10ms service + 0.5ms *)
+      feq "payload occupies pipe" 1.011 (Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check int) "bytes accounted" 1_000_000 (Node.net_bytes_in server)
+
+let test_server_ops_serialise () =
+  (* Term ① of Eq. 1: N concurrent small calls take ~N/OPS at the
+     server. *)
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"noop"
+      ~handler:(fun () ~reply -> reply ())
+  in
+  let n = 10 in
+  let last = ref 0. in
+  for i = 1 to n do
+    let client = Node.create eng params ~name:(Printf.sprintf "c%d" i) () in
+    Engine.spawn eng ~name:(Printf.sprintf "caller%d" i) (fun () ->
+        Rpc.call ep ~src:client ();
+        if Engine.now eng > !last then last := Engine.now eng)
+  done;
+  Engine.run eng;
+  feq "N/OPS + rtt" (float_of_int n /. params.Params.server_ops +. params.Params.rtt)
+    !last
+
+let test_deferred_reply () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let client = Node.create eng params ~name:"c" () in
+  let pending = ref None in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"defer"
+      ~handler:(fun () ~reply -> pending := Some reply)
+  in
+  Engine.spawn eng ~name:"releaser" (fun () ->
+      Engine.sleep eng 5.;
+      match !pending with Some r -> r 7 | None -> Alcotest.fail "no pending");
+  let got = ref 0 and at = ref 0. in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      got := Rpc.call ep ~src:client ();
+      at := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "deferred value" 7 !got;
+  feq "released at 5s + rtt/2" 5.0005 !at
+
+let test_notify_does_not_block () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let client = Node.create eng params ~name:"c" () in
+  let received = ref (-1.) in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"cb"
+      ~handler:(fun () ~reply ->
+        received := Engine.now eng;
+        reply ())
+  in
+  Engine.spawn eng ~name:"sender" (fun () ->
+      Rpc.notify ep ~src:client ();
+      feq "sender not blocked" 0. (Engine.now eng));
+  Engine.run eng;
+  feq "delivered after rtt/2 + service" 0.0105 !received
+
+let test_blocking_handler_uses_disk () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" ~with_disk:true () in
+  let client = Node.create eng params ~name:"c" () in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"write"
+      ~handler:(fun bytes ~reply ->
+        Node.disk_write server bytes;
+        reply ())
+  in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      Rpc.call ep ~src:client ~req_bytes:500_000 500_000;
+      (* 0.5ms + 0.5s pipe + 10ms + 0.5s disk + 0.5ms *)
+      feq "disk time charged" 1.011 (Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check int) "disk bytes" 500_000 (Node.disk_bytes_written server)
+
+let test_params_b_flush () =
+  let p = Params.default in
+  let expected =
+    p.Params.b_net *. p.Params.b_disk /. (p.Params.b_net +. p.Params.b_disk)
+  in
+  feq "Eq. 2" expected (Params.b_flush p);
+  Alcotest.(check bool) "slower than both" true
+    (Params.b_flush p < p.Params.b_net && Params.b_flush p < p.Params.b_disk)
+
+let test_node_no_disk () =
+  let eng = Engine.create () in
+  let n = Node.create eng params ~name:"diskless" () in
+  Alcotest.(check bool) "has_disk" false (Node.has_disk n);
+  Alcotest.check_raises "disk access" (Invalid_argument "diskless: node has no disk")
+    (fun () -> ignore (Node.disk n))
+
+let suite =
+  [
+    ( "net.rpc",
+      [
+        Alcotest.test_case "call latency" `Quick test_call_latency;
+        Alcotest.test_case "payload bandwidth" `Quick
+          test_call_payload_bandwidth;
+        Alcotest.test_case "server OPS serialise calls" `Quick
+          test_server_ops_serialise;
+        Alcotest.test_case "deferred reply" `Quick test_deferred_reply;
+        Alcotest.test_case "notify is non-blocking" `Quick
+          test_notify_does_not_block;
+        Alcotest.test_case "blocking handler on disk" `Quick
+          test_blocking_handler_uses_disk;
+      ] );
+    ( "net.params",
+      [
+        Alcotest.test_case "b_flush (Eq. 2)" `Quick test_params_b_flush;
+        Alcotest.test_case "diskless node" `Quick test_node_no_disk;
+      ] );
+  ]

@@ -1,0 +1,677 @@
+(* Tests for ccPFS: layout math, the data-server write routine, the
+   client cache, and end-to-end data safety (paper §V-B1). *)
+
+open Ccpfs_util
+open Dessim
+open Ccpfs
+
+let iv lo hi = Interval.v ~lo ~hi
+let mib = Units.mib
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_single_stripe () =
+  let l = Layout.v ~stripe_count:1 () in
+  Alcotest.(check (list (pair int (pair int int))))
+    "identity map"
+    [ (0, (123, 456_000)) ]
+    (Layout.chunks l (iv 123 456_000)
+    |> List.map (fun (s, (r : Interval.t)) -> (s, (r.lo, r.hi))));
+  Alcotest.(check bool) "never spans" false
+    (Layout.spans_multiple l (iv 0 (100 * mib)))
+
+let test_layout_two_stripes () =
+  let l = Layout.v ~stripe_size:mib ~stripe_count:2 () in
+  (* [0, 2MiB) covers chunk 0 (stripe 0) and chunk 1 (stripe 1). *)
+  let got =
+    Layout.chunks l (iv 0 (2 * mib))
+    |> List.map (fun (s, (r : Interval.t)) -> (s, r.lo, r.hi))
+  in
+  Alcotest.(check (list (triple int int int)))
+    "one object range per stripe"
+    [ (0, 0, mib); (1, 0, mib) ]
+    got;
+  Alcotest.(check bool) "spans" true (Layout.spans_multiple l (iv 0 (2 * mib)));
+  Alcotest.(check bool) "within one chunk" false
+    (Layout.spans_multiple l (iv 100 200))
+
+let test_layout_contiguous_merging () =
+  (* A 4 MiB write on 2 stripes: each stripe's two chunks merge into one
+     contiguous object range. *)
+  let l = Layout.v ~stripe_size:mib ~stripe_count:2 () in
+  let got =
+    Layout.chunks l (iv 0 (4 * mib))
+    |> List.map (fun (s, (r : Interval.t)) -> (s, r.lo, r.hi))
+  in
+  Alcotest.(check (list (triple int int int)))
+    "merged rows"
+    [ (0, 0, 2 * mib); (1, 0, 2 * mib) ]
+    got
+
+let test_layout_unaligned_span () =
+  let l = Layout.v ~stripe_size:mib ~stripe_count:4 () in
+  let lo = mib - 1000 in
+  let got =
+    Layout.chunks l (iv lo (lo + 2000))
+    |> List.map (fun (s, (r : Interval.t)) -> (s, r.lo, r.hi))
+  in
+  Alcotest.(check (list (triple int int int)))
+    "straddles stripes 0 and 1"
+    [ (0, mib - 1000, mib); (1, 0, 1000) ]
+    got
+
+let prop_layout_partition =
+  let open QCheck in
+  Test.make ~name:"chunks partition the range; file_offset inverts" ~count:200
+    (make
+       ~print:(fun (sc, lo, len) -> Printf.sprintf "sc=%d lo=%d len=%d" sc lo len)
+       Gen.(triple (int_range 1 8) (int_bound 10_000_000) (int_range 1 5_000_000)))
+    (fun (stripe_count, lo, len) ->
+      let l = Layout.v ~stripe_size:65536 ~stripe_count () in
+      let chunks = Layout.chunks l (iv lo (lo + len)) in
+      let total =
+        List.fold_left (fun acc (_, r) -> acc + Interval.length r) 0 chunks
+      in
+      let inverse_ok =
+        List.for_all
+          (fun (stripe, (r : Interval.t)) ->
+            let f = Layout.file_offset l ~stripe r.lo in
+            lo <= f && f < lo + len
+            && Layout.chunks l (iv f (f + 1))
+               |> List.for_all (fun (s', (r' : Interval.t)) ->
+                      s' = stripe && r'.lo = r.lo))
+          chunks
+      in
+      total = len && inverse_ok)
+
+let test_rid_packing () =
+  let rid = Layout.rid ~fid:42 ~stripe:7 in
+  Alcotest.(check int) "fid" 42 (Layout.rid_fid rid);
+  Alcotest.(check int) "stripe" 7 (Layout.rid_stripe rid);
+  Alcotest.(check bool) "distinct files distinct rids" true
+    (Layout.rid ~fid:1 ~stripe:0 <> Layout.rid ~fid:0 ~stripe:1)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster harness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Small, fast parameters; generous bandwidths keep timings short while
+   preserving protocol behaviour. *)
+let fast_params =
+  {
+    Netsim.Params.rtt = 1e-4;
+    b_net = 1e9;
+    server_ops = 10_000.;
+    b_disk = 5e8;
+    b_mem = 2e9;
+    ctl_msg_bytes = 128;
+    bulk_threshold = 16 * 1024;
+    client_io_overhead = 0.;
+  }
+
+let small_config =
+  Config.with_dirty_limits ~dirty_min:(4 * mib) ~dirty_max:(16 * mib)
+    Config.default
+
+let make ?(policy = Seqdlm.Policy.seqdlm) ?(config = small_config) ~servers
+    ~clients () =
+  Cluster.create ~params:fast_params ~config ~policy ~n_servers:servers
+    ~n_clients:clients ()
+
+let tag_of_byte cl file ~stripe ~obj_off =
+  let c = Cluster.stripe_contents cl file ~stripe in
+  match Content.read c (iv obj_off (obj_off + 1)) with
+  | [ (_, tag) ] -> tag
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end basics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_fsync_contents () =
+  let cl = make ~servers:1 ~clients:1 () in
+  let file = ref None in
+  Cluster.spawn_client cl 0 ~name:"writer" (fun c ->
+      let f = Client.open_file c ~create:true "/a" in
+      file := Some f;
+      Client.write c f ~off:0 ~len:65536;
+      Client.write c f ~off:65536 ~len:65536;
+      Client.fsync c);
+  Cluster.run cl;
+  let f = Option.get !file in
+  let contents = Cluster.stripe_contents cl f ~stripe:0 in
+  Alcotest.(check int) "all bytes on device" (128 * 1024)
+    (Content.written_bytes contents);
+  (match Content.read contents (iv 0 (128 * 1024)) with
+  | segs ->
+      Alcotest.(check bool) "no holes" true
+        (List.for_all (fun (_, t) -> t <> None) segs));
+  Cluster.check_invariants cl
+
+let test_read_your_writes_before_flush () =
+  let cl = make ~servers:1 ~clients:1 () in
+  let seen = ref [] in
+  Cluster.spawn_client cl 0 ~name:"rw" (fun c ->
+      let f = Client.open_file c ~create:true "/a" in
+      Client.write c f ~off:0 ~len:8192;
+      (* No fsync: data only in the client cache; the read must see it
+         via the upgraded PW lock. *)
+      seen := Client.read c f ~off:0 ~len:8192);
+  Cluster.run cl;
+  Alcotest.(check bool) "saw own dirty data" true
+    (!seen <> []
+    && List.for_all
+         (fun (_, _, tag) ->
+           match tag with Some t -> t.Content.writer = 0 | None -> false)
+         !seen)
+
+let test_read_after_other_client_write () =
+  (* Producer/consumer coherence: reader must see the producer's data
+     even though the producer never fsyncs — the PR lock conflict forces
+     the flush. *)
+  let cl = make ~servers:1 ~clients:2 () in
+  let seen = ref [] in
+  Cluster.spawn_client cl 0 ~name:"producer" (fun c ->
+      let f = Client.open_file c ~create:true "/shared" in
+      Client.write c f ~off:0 ~len:65536);
+  Cluster.spawn_client cl 1 ~name:"consumer" (fun c ->
+      Engine.sleep (Cluster.engine cl) 0.05;
+      let f = Client.open_file c "/shared" in
+      seen := Client.read c f ~off:0 ~len:65536);
+  Cluster.run cl;
+  Alcotest.(check bool) "consumer sees producer bytes" true
+    (!seen <> []
+    && List.for_all
+         (fun (_, _, tag) ->
+           match tag with Some t -> t.Content.writer = 0 | None -> false)
+         !seen)
+
+let test_append_atomic () =
+  let cl = make ~servers:1 ~clients:4 () in
+  let offsets = ref [] in
+  for i = 0 to 3 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "a%d" i) (fun c ->
+        let f = Client.open_file c ~create:true "/log" in
+        for _ = 1 to 3 do
+          let off = Client.append c f ~len:1000 in
+          offsets := off :: !offsets
+        done)
+  done;
+  Cluster.run cl;
+  let offs = List.sort Int.compare !offsets in
+  Alcotest.(check (list int))
+    "appends got disjoint consecutive offsets"
+    (List.init 12 (fun i -> i * 1000))
+    offs;
+  let cl0 = Cluster.client cl 0 in
+  let size = ref 0 in
+  Cluster.spawn_client cl 0 ~name:"stat" (fun c ->
+      let f = Client.open_file c "/log" in
+      size := Client.stat_size c f);
+  Cluster.run cl;
+  ignore cl0;
+  Alcotest.(check int) "final size" 12_000 !size
+
+let test_truncate () =
+  let cl = make ~servers:1 ~clients:1 () in
+  let post = ref [] and size = ref (-1) in
+  Cluster.spawn_client cl 0 ~name:"t" (fun c ->
+      let f = Client.open_file c ~create:true "/t" in
+      ignore (Client.append c f ~len:10_000);
+      Client.fsync c;
+      Client.truncate c f ~size:4_000;
+      size := Client.stat_size c f;
+      post := Client.read c f ~off:0 ~len:10_000);
+  Cluster.run cl;
+  Alcotest.(check int) "size after truncate" 4_000 !size;
+  let data_bytes =
+    List.fold_left
+      (fun acc (_, r, tag) ->
+        if tag = None then acc else acc + Interval.length r)
+      0 !post
+  in
+  Alcotest.(check int) "bytes beyond truncation are holes" 4_000 data_bytes
+
+let test_dirty_max_blocks_writers () =
+  let config =
+    Config.with_dirty_limits ~dirty_min:(1 * mib) ~dirty_max:(2 * mib)
+      Config.default
+  in
+  let cl = make ~config ~servers:1 ~clients:1 () in
+  let peak = ref 0 in
+  Cluster.spawn_client cl 0 ~name:"w" (fun c ->
+      let f = Client.open_file c ~create:true "/big" in
+      for k = 0 to 63 do
+        Client.write c f ~off:(k * 256 * 1024) ~len:(256 * 1024)
+      done;
+      peak := Client_cache.dirty_peak (Client.cache c));
+  Cluster.run cl;
+  Alcotest.(check bool)
+    (Printf.sprintf "dirty stayed under max (peak %d)" !peak)
+    true
+    (!peak <= 2 * mib);
+  Alcotest.(check bool) "flush daemon drained voluntarily" true
+    (Client_cache.bytes_flushed (Client.cache (Cluster.client cl 0)) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Data safety (paper §V-B1)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* IO500 ior-hard shape: N-1 strided, odd-sized writes, each client
+   writes its own slots; then every client reads a peer's region back
+   and checks provenance.  Run for 1, 2 and 4 stripes. *)
+let test_ior_hard_readback stripes () =
+  let n = 4 and per_client = 6 and xfer = 47_008 in
+  let cl = make ~servers:(max 1 (stripes / 2)) ~clients:n () in
+  let layout = Layout.v ~stripe_size:mib ~stripe_count:stripes () in
+  for i = 0 to n - 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+        let f = Client.open_file c ~create:true ~layout "/ior" in
+        for k = 0 to per_client - 1 do
+          let slot = (k * n) + i in
+          Client.write c f ~off:(slot * xfer) ~len:xfer
+        done)
+  done;
+  Cluster.run cl;
+  (* Read-back phase from different clients (client j reads i's data). *)
+  let errors = ref 0 in
+  for j = 0 to n - 1 do
+    Cluster.spawn_client cl j ~name:(Printf.sprintf "r%d" j) (fun c ->
+        let f = Client.open_file c "/ior" in
+        let owner = (j + 1) mod n in
+        for k = 0 to per_client - 1 do
+          let slot = (k * n) + owner in
+          let segs = Client.read c f ~off:(slot * xfer) ~len:xfer in
+          List.iter
+            (fun (_, _, tag) ->
+              match tag with
+              | Some t when t.Content.writer = owner -> ()
+              | Some _ | None -> incr errors)
+            segs
+        done)
+  done;
+  Cluster.run cl;
+  Alcotest.(check int) "every byte has the right writer" 0 !errors;
+  Cluster.check_invariants cl
+
+(* Fig. 7 workload: concurrent overlapping writes, two per client; after
+   a barrier, all clients read the whole range; checksums must agree and
+   the surviving content must be some client's second write. *)
+let test_overlapping_writes_checksum stripes () =
+  let n = 4 and len = 256 * 1024 in
+  let cl = make ~servers:1 ~clients:n () in
+  let layout = Layout.v ~stripe_size:(64 * 1024) ~stripe_count:stripes () in
+  for i = 0 to n - 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+        let f = Client.open_file c ~create:true ~layout "/overlap" in
+        Client.write c f ~off:0 ~len;
+        Client.write c f ~off:0 ~len)
+  done;
+  Cluster.run cl (* barrier: all writes complete *);
+  let sums = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "r%d" i) (fun c ->
+        let f = Client.open_file c "/overlap" in
+        sums.(i) <- Client.read_checksum c f ~off:0 ~len)
+  done;
+  Cluster.run cl;
+  for i = 1 to n - 1 do
+    Alcotest.(check int) (Printf.sprintf "checksum %d = checksum 0" i)
+      sums.(0) sums.(i)
+  done;
+  (* Examine the device after the PR locks forced all flushes: each byte
+     must carry the same winner, and it must be a second write (op = 2,
+     matching "the results are from the second write of some client"). *)
+  let file = ref None in
+  Cluster.spawn_client cl 0 ~name:"open" (fun c ->
+      file := Some (Client.open_file c "/overlap"));
+  Cluster.run cl;
+  let f = Option.get !file in
+  let winner = tag_of_byte cl f ~stripe:0 ~obj_off:0 in
+  (match winner with
+  | Some t ->
+      Alcotest.(check int) "winner wrote twice (second write)" 2 t.Content.op
+  | None -> Alcotest.fail "no data on device");
+  (* All stripes, all bytes: same (writer, op). *)
+  for stripe = 0 to stripes - 1 do
+    let c = Cluster.stripe_contents cl f ~stripe in
+    Content.read c (iv 0 (len / stripes))
+    |> List.iter (fun (_, tag) ->
+           match (tag, winner) with
+           | Some a, Some b ->
+               Alcotest.(check int) "same writer" b.Content.writer a.Content.writer;
+               Alcotest.(check int) "same op" b.Content.op a.Content.op
+           | _ -> Alcotest.fail "hole or missing winner")
+  done;
+  Cluster.check_invariants cl
+
+(* The same overlapping-write safety must hold for every DLM policy. *)
+let test_overlap_all_policies () =
+  List.iter
+    (fun policy ->
+      if not policy.Seqdlm.Policy.datatype_requests then begin
+        let n = 3 and len = 128 * 1024 in
+        let cl = make ~policy ~servers:1 ~clients:n () in
+        for i = 0 to n - 1 do
+          Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+              let f = Client.open_file c ~create:true "/p" in
+              Client.write c f ~off:0 ~len)
+        done;
+        Cluster.run cl;
+        let sums = Array.make n 0 in
+        for i = 0 to n - 1 do
+          Cluster.spawn_client cl i ~name:(Printf.sprintf "r%d" i) (fun c ->
+              let f = Client.open_file c "/p" in
+              sums.(i) <- Client.read_checksum c f ~off:0 ~len)
+        done;
+        Cluster.run cl;
+        for i = 1 to n - 1 do
+          Alcotest.(check int)
+            (policy.Seqdlm.Policy.name ^ ": coherent readback")
+            sums.(0) sums.(i)
+        done;
+        Cluster.check_invariants cl
+      end)
+    Seqdlm.Policy.all
+
+(* Multi-stripe spanning writes under BW: the final file must be one
+   whole write, never a mix of two clients' writes (§III-B1). *)
+let test_spanning_write_atomicity () =
+  let stripes = 2 and len = 2 * mib in
+  let cl = make ~servers:2 ~clients:4 () in
+  let layout = Layout.v ~stripe_size:mib ~stripe_count:stripes () in
+  for i = 0 to 3 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+        let f = Client.open_file c ~create:true ~layout "/atomic" in
+        for _ = 1 to 3 do
+          Client.write c f ~off:0 ~len
+        done)
+  done;
+  Cluster.run cl;
+  Cluster.fsync_all cl;
+  let file = ref None in
+  Cluster.spawn_client cl 0 ~name:"open" (fun c ->
+      file := Some (Client.open_file c "/atomic"));
+  Cluster.run cl;
+  let f = Option.get !file in
+  let tags = ref [] in
+  for stripe = 0 to stripes - 1 do
+    let c = Cluster.stripe_contents cl f ~stripe in
+    Content.read c (iv 0 mib)
+    |> List.iter (fun (_, tag) -> tags := tag :: !tags)
+  done;
+  (match !tags with
+  | Some first :: rest ->
+      List.iter
+        (fun tag ->
+          match tag with
+          | Some t ->
+              Alcotest.(check int) "atomic writer" first.Content.writer
+                t.Content.writer;
+              Alcotest.(check int) "atomic op" first.Content.op t.Content.op
+          | None -> Alcotest.fail "hole in written range")
+        rest
+  | _ -> Alcotest.fail "no data");
+  Cluster.check_invariants cl
+
+(* ------------------------------------------------------------------ *)
+(* Durability (§IV-C1)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fsync_file_scoped () =
+  let cl = make ~servers:1 ~clients:1 () in
+  Cluster.spawn_client cl 0 ~name:"w" (fun c ->
+      let fa = Client.open_file c ~create:true "/a" in
+      let fb = Client.open_file c ~create:true "/b" in
+      Client.write c fa ~off:0 ~len:65536;
+      Client.write c fb ~off:0 ~len:65536;
+      Client.fsync_file c fa;
+      (* /a durable, /b still dirty *)
+      Alcotest.(check int) "b still dirty" 65536
+        (Client_cache.dirty_bytes (Client.cache c)));
+  Cluster.run cl;
+  let file = ref None in
+  Cluster.spawn_client cl 0 ~name:"open" (fun c ->
+      file := Some (Client.open_file c "/a"));
+  Cluster.run cl;
+  Alcotest.(check int) "a on device" 65536
+    (Content.written_bytes (Cluster.stripe_contents cl (Option.get !file) ~stripe:0))
+
+let test_client_crash_durability () =
+  (* The §IV-C1 convention: a crashing client loses exactly its dirty
+     data; everything flushed earlier survives and stays readable. *)
+  let cl = make ~servers:1 ~clients:2 () in
+  Cluster.spawn_client cl 0 ~name:"doomed" (fun c ->
+      let f = Client.open_file c ~create:true "/d" in
+      Client.write c f ~off:0 ~len:65536;
+      Client.fsync c;
+      Client.write c f ~off:65536 ~len:65536;
+      (* crash before the second write is flushed *)
+      let lost = Client.crash c in
+      Alcotest.(check int) "exactly the dirty bytes lost" 65536 lost);
+  Cluster.run cl;
+  let seen = ref [] in
+  Cluster.spawn_client cl 1 ~name:"survivor" (fun c ->
+      let f = Client.open_file c "/d" in
+      seen := Client.read c f ~off:0 ~len:(2 * 65536));
+  Cluster.run cl;
+  let data_bytes =
+    List.fold_left
+      (fun acc (_, r, tag) -> if tag = None then acc else acc + Interval.length r)
+      0 !seen
+  in
+  Alcotest.(check int) "flushed half survives, dirty half is a hole" 65536
+    data_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Clean (read) cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_read_cache_serves_repeats () =
+  let cl = make ~servers:1 ~clients:1 () in
+  Cluster.spawn_client cl 0 ~name:"r" (fun c ->
+      let f = Client.open_file c ~create:true "/rc" in
+      Client.write c f ~off:0 ~len:65536;
+      Client.fsync c;
+      ignore (Client.read c f ~off:0 ~len:65536);
+      ignore (Client.read c f ~off:0 ~len:65536);
+      ignore (Client.read c f ~off:8192 ~len:4096));
+  Cluster.run cl;
+  let ds = Data_server.stats (Cluster.data_server cl 0) in
+  Alcotest.(check int) "only the first read hits the server" 1 ds.reads;
+  let cc = Client.cache (Cluster.client cl 0) in
+  Alcotest.(check bool) "hits recorded" true (Client_cache.read_cache_hits cc >= 2)
+
+let test_read_cache_invalidated_on_revoke () =
+  (* Client 0 caches clean data under its PR lock; client 1 overwrites,
+     revoking the lock; client 0 must then refetch, not serve stale. *)
+  let cl = make ~servers:1 ~clients:2 () in
+  let eng = Cluster.engine cl in
+  let stale = ref true in
+  Cluster.spawn_client cl 0 ~name:"reader" (fun c ->
+      let f = Client.open_file c ~create:true "/inv" in
+      Client.write c f ~off:0 ~len:4096;
+      Client.fsync c;
+      ignore (Client.read c f ~off:0 ~len:4096);
+      Engine.sleep eng 0.1;
+      (* by now client 1 has overwritten the range *)
+      match Client.read c f ~off:0 ~len:4096 with
+      | [ (_, _, Some t) ] -> stale := t.Content.writer <> 1
+      | _ -> ());
+  Cluster.spawn_client cl 1 ~name:"writer" (fun c ->
+      Engine.sleep eng 0.02;
+      let f = Client.open_file c "/inv" in
+      Client.write c f ~off:0 ~len:4096);
+  Cluster.run cl;
+  Alcotest.(check bool) "no stale read after revocation" false !stale
+
+let test_read_cache_coherent_with_own_flushed_writes () =
+  (* Regression: read, write (same range), let the flush daemon drain the
+     dirty data, read again — must see the write, not the cached
+     pre-write data. *)
+  let cl = make ~servers:1 ~clients:1 () in
+  let ok = ref false in
+  Cluster.spawn_client cl 0 ~name:"rwr" (fun c ->
+      let f = Client.open_file c ~create:true "/own" in
+      Client.write c f ~off:0 ~len:4096;
+      Client.fsync c;
+      ignore (Client.read c f ~off:0 ~len:4096);
+      Client.write c f ~off:0 ~len:4096;
+      (* drain the dirty data; ops so far: write=1, read=2, write=3 *)
+      Client.fsync c;
+      match Client.read c f ~off:0 ~len:4096 with
+      | [ (_, _, Some t) ] -> ok := t.Content.op = 3
+      | _ -> ());
+  Cluster.run cl;
+  Alcotest.(check bool) "second write visible after flush" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Data-server machinery                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_extent_cache_cleanup () =
+  (* Tiny extent-cache limit: the cleanup task must kick in and keep the
+     cache bounded while writes stay correct. *)
+  let config =
+    Config.with_extent_cache ~limit:64
+      (Config.with_dirty_limits ~dirty_min:(256 * 1024) ~dirty_max:mib
+         Config.default)
+  in
+  let cl = make ~config ~servers:1 ~clients:2 () in
+  for i = 0 to 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+        let f = Client.open_file c ~create:true "/strided" in
+        (* N-1 strided with odd sizes: maximally fragmenting. *)
+        for k = 0 to 199 do
+          let slot = (k * 2) + i in
+          Client.write c f ~off:(slot * 5000) ~len:5000
+        done;
+        Client.fsync c)
+  done;
+  Cluster.run cl;
+  let ds = Cluster.data_server cl 0 in
+  let st = Data_server.stats ds in
+  Alcotest.(check bool) "cleanup ran" true (st.cleanup_runs > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "entries bounded (now %d)" (Data_server.extent_cache_entries ds))
+    true
+    (Data_server.extent_cache_entries ds <= 3 * 64);
+  (* correctness unaffected *)
+  let errors = ref 0 in
+  Cluster.spawn_client cl 0 ~name:"verify" (fun c ->
+      let f = Client.open_file c "/strided" in
+      for slot = 0 to 399 do
+        let owner = slot mod 2 in
+        Client.read c f ~off:(slot * 5000) ~len:5000
+        |> List.iter (fun (_, _, tag) ->
+               match tag with
+               | Some t when t.Content.writer = owner -> ()
+               | Some _ | None -> incr errors)
+      done);
+  Cluster.run cl;
+  Alcotest.(check int) "strided data intact after cleanup" 0 !errors
+
+let test_extent_log_recovery () =
+  let config = Config.with_extent_log true small_config in
+  let cl = make ~config ~servers:1 ~clients:3 () in
+  for i = 0 to 2 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+        let f = Client.open_file c ~create:true "/rec" in
+        for k = 0 to 20 do
+          Client.write c f ~off:(((k * 3) + i) * 7000) ~len:9000
+        done;
+        Client.fsync c)
+  done;
+  Cluster.run cl;
+  let ds = Cluster.data_server cl 0 in
+  let file = ref None in
+  Cluster.spawn_client cl 0 ~name:"open" (fun c ->
+      file := Some (Client.open_file c "/rec"));
+  Cluster.run cl;
+  let rid = Layout.rid ~fid:(Client.fid (Option.get !file)) ~stripe:0 in
+  (* The live cache is lazily coalesced, so compare canonical forms:
+     same (byte -> max SN) mapping. *)
+  let canonical entries =
+    Extent_map.to_list
+      (Extent_map.coalesce ~eq:Int.equal (Extent_map.of_list entries))
+  in
+  let live = canonical (Data_server.extent_cache_of ds rid) in
+  let rebuilt = canonical (Data_server.rebuild_extent_cache_from_log ds rid) in
+  Alcotest.(check int) "same entry count" (List.length live)
+    (List.length rebuilt);
+  List.iter2
+    (fun (a, sa) (b, sb) ->
+      Alcotest.(check bool) "same extent" true (Interval.equal a b);
+      Alcotest.(check int) "same SN" sa sb)
+    live rebuilt
+
+let suite =
+  [
+    ( "pfs.layout",
+      [
+        Alcotest.test_case "single stripe" `Quick test_layout_single_stripe;
+        Alcotest.test_case "two stripes" `Quick test_layout_two_stripes;
+        Alcotest.test_case "contiguous merging" `Quick
+          test_layout_contiguous_merging;
+        Alcotest.test_case "unaligned span" `Quick test_layout_unaligned_span;
+        Alcotest.test_case "rid packing" `Quick test_rid_packing;
+        QCheck_alcotest.to_alcotest prop_layout_partition;
+      ] );
+    ( "pfs.endtoend",
+      [
+        Alcotest.test_case "write + fsync reaches device" `Quick
+          test_write_fsync_contents;
+        Alcotest.test_case "read your writes before flush" `Quick
+          test_read_your_writes_before_flush;
+        Alcotest.test_case "producer/consumer coherence" `Quick
+          test_read_after_other_client_write;
+        Alcotest.test_case "atomic append" `Quick test_append_atomic;
+        Alcotest.test_case "truncate" `Quick test_truncate;
+        Alcotest.test_case "dirty_max blocks writers" `Quick
+          test_dirty_max_blocks_writers;
+      ] );
+    ( "pfs.safety",
+      [
+        Alcotest.test_case "IO500 ior-hard readback, 1 stripe" `Quick
+          (test_ior_hard_readback 1);
+        Alcotest.test_case "IO500 ior-hard readback, 2 stripes" `Quick
+          (test_ior_hard_readback 2);
+        Alcotest.test_case "IO500 ior-hard readback, 4 stripes" `Quick
+          (test_ior_hard_readback 4);
+        Alcotest.test_case "overlapping writes checksum, 1 stripe (NBW)"
+          `Quick
+          (test_overlapping_writes_checksum 1);
+        Alcotest.test_case "overlapping writes checksum, 2 stripes (BW)"
+          `Quick
+          (test_overlapping_writes_checksum 2);
+        Alcotest.test_case "coherent readback under every policy" `Quick
+          test_overlap_all_policies;
+        Alcotest.test_case "spanning-write atomicity (BW)" `Quick
+          test_spanning_write_atomicity;
+      ] );
+    ( "pfs.durability",
+      [
+        Alcotest.test_case "fsync_file flushes one file" `Quick
+          test_fsync_file_scoped;
+        Alcotest.test_case "client crash loses only dirty data" `Quick
+          test_client_crash_durability;
+      ] );
+    ( "pfs.readcache",
+      [
+        Alcotest.test_case "repeat reads served locally" `Quick
+          test_read_cache_serves_repeats;
+        Alcotest.test_case "invalidated on revocation" `Quick
+          test_read_cache_invalidated_on_revoke;
+        Alcotest.test_case "coherent with own flushed writes" `Quick
+          test_read_cache_coherent_with_own_flushed_writes;
+      ] );
+    ( "pfs.dataserver",
+      [
+        Alcotest.test_case "extent cache cleanup bounds entries" `Quick
+          test_extent_cache_cleanup;
+        Alcotest.test_case "extent log rebuild (recovery)" `Quick
+          test_extent_log_recovery;
+      ] );
+  ]

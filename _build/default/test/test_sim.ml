@@ -1,0 +1,270 @@
+(* Tests for the discrete-event engine and its synchronisation
+   primitives (lib/sim). *)
+
+open Dessim
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_clock_and_sleep () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng ~name:"a" (fun () ->
+      Engine.sleep eng 1.0;
+      log := ("a", Engine.now eng) :: !log;
+      Engine.sleep eng 2.0;
+      log := ("a2", Engine.now eng) :: !log);
+  Engine.spawn eng ~name:"b" (fun () ->
+      Engine.sleep eng 1.5;
+      log := ("b", Engine.now eng) :: !log);
+  Engine.run eng;
+  feq "final time" 3.0 (Engine.now eng);
+  let order = List.rev_map fst !log in
+  Alcotest.(check (list string)) "event order" [ "a"; "b"; "a2" ] order
+
+let test_deterministic_tie_break () =
+  (* Two processes waking at the same instant run in spawn order. *)
+  let run () =
+    let eng = Engine.create () in
+    let log = ref [] in
+    List.iter
+      (fun name ->
+        Engine.spawn eng ~name (fun () ->
+            Engine.sleep eng 1.0;
+            log := name :: !log))
+      [ "p1"; "p2"; "p3" ];
+    Engine.run eng;
+    List.rev !log
+  in
+  Alcotest.(check (list string)) "spawn order" [ "p1"; "p2"; "p3" ] (run ());
+  Alcotest.(check (list string)) "reproducible" (run ()) (run ())
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let hit = ref 0 in
+  Engine.spawn eng ~name:"p" (fun () ->
+      Engine.sleep eng 1.0;
+      incr hit;
+      Engine.sleep eng 10.;
+      incr hit);
+  Engine.run ~until:5.0 eng;
+  Alcotest.(check int) "first wake only" 1 !hit;
+  feq "paused at until" 5.0 (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "resumed" 2 !hit;
+  feq "completed" 11.0 (Engine.now eng)
+
+let test_deadlock_detection () =
+  let eng = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create eng in
+  Engine.spawn eng ~name:"stuck" (fun () -> ignore (Mailbox.recv mb));
+  (try
+     Engine.run eng;
+     Alcotest.fail "expected deadlock"
+   with Engine.Deadlock names ->
+     Alcotest.(check (list string)) "blocked names" [ "stuck" ] names)
+
+let test_daemon_does_not_deadlock () =
+  let eng = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create eng in
+  Engine.spawn eng ~daemon:true ~name:"daemon" (fun () ->
+      ignore (Mailbox.recv mb));
+  Engine.spawn eng ~name:"worker" (fun () -> Engine.sleep eng 1.0);
+  Engine.run eng;
+  feq "finished" 1.0 (Engine.now eng)
+
+let test_daemon_polling_stops_with_work () =
+  (* A periodic daemon must not keep the simulation alive once all
+     regular processes are done. *)
+  let eng = Engine.create () in
+  let polls = ref 0 in
+  Engine.spawn eng ~daemon:true ~name:"poller" (fun () ->
+      while true do
+        Engine.sleep eng 0.1;
+        incr polls
+      done);
+  Engine.spawn eng ~name:"worker" (fun () -> Engine.sleep eng 1.05);
+  Engine.run eng;
+  Alcotest.(check bool) "daemon polled during work" true (!polls >= 10);
+  Alcotest.(check bool) "stopped promptly" true (!polls <= 11)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let got = ref [] in
+  Engine.spawn eng ~name:"recv" (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Engine.spawn eng ~name:"send" (fun () ->
+      Mailbox.send mb 1;
+      Engine.sleep eng 0.5;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_many_waiters () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let got = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng ~name:(Printf.sprintf "r%d" i) (fun () ->
+        let v = Mailbox.recv mb in
+        got := (i, v) :: !got)
+  done;
+  Engine.spawn eng ~name:"send" (fun () ->
+      Engine.sleep eng 1.;
+      List.iter (Mailbox.send mb) [ 10; 20; 30 ]);
+  Engine.run eng;
+  Alcotest.(check (list (pair int int)))
+    "waiters served fifo"
+    [ (1, 10); (2, 20); (3, 30) ]
+    (List.rev !got)
+
+let test_ivar () =
+  let eng = Engine.create () in
+  let iv = Ivar.create eng in
+  let seen = ref [] in
+  for i = 1 to 2 do
+    Engine.spawn eng ~name:(Printf.sprintf "r%d" i) (fun () ->
+        let v = Ivar.read iv in
+        seen := (i, v, Engine.now eng) :: !seen)
+  done;
+  Engine.spawn eng ~name:"filler" (fun () ->
+      Engine.sleep eng 2.;
+      Ivar.fill iv 42);
+  Engine.run eng;
+  Alcotest.(check int) "both resumed" 2 (List.length !seen);
+  List.iter
+    (fun (_, v, t) ->
+      Alcotest.(check int) "value" 42 v;
+      feq "at fill time" 2. t)
+    !seen;
+  Alcotest.check_raises "double fill" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Ivar.fill iv 0)
+
+let test_semaphore_mutex () =
+  let eng = Engine.create () in
+  let sem = Semaphore.create eng 1 in
+  let active = ref 0 and max_active = ref 0 in
+  for i = 1 to 4 do
+    Engine.spawn eng ~name:(Printf.sprintf "w%d" i) (fun () ->
+        Semaphore.with_permit sem (fun () ->
+            incr active;
+            if !active > !max_active then max_active := !active;
+            Engine.sleep eng 1.0;
+            decr active))
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "mutual exclusion" 1 !max_active;
+  feq "serialized" 4.0 (Engine.now eng)
+
+let test_semaphore_counting () =
+  let eng = Engine.create () in
+  let sem = Semaphore.create eng 2 in
+  Engine.spawn eng ~name:"w" (fun () ->
+      Semaphore.acquire sem;
+      Semaphore.acquire sem;
+      Alcotest.(check int) "none left" 0 (Semaphore.available sem);
+      Semaphore.release sem;
+      Semaphore.release sem;
+      Alcotest.(check int) "restored" 2 (Semaphore.available sem));
+  Engine.run eng
+
+let test_resource_fifo_rate () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~rate:10. in
+  let t1 = ref 0. and t2 = ref 0. in
+  Engine.spawn eng ~name:"a" (fun () ->
+      Resource.consume r 10.;
+      t1 := Engine.now eng);
+  Engine.spawn eng ~name:"b" (fun () ->
+      Resource.consume r 20.;
+      t2 := Engine.now eng);
+  Engine.run eng;
+  feq "first done at 1s" 1.0 !t1;
+  feq "second queued behind" 3.0 !t2;
+  feq "busy accounting" 3.0 (Resource.busy_seconds r)
+
+let test_resource_idle_gap () =
+  let eng = Engine.create () in
+  let r = Resource.create eng ~rate:10. in
+  Engine.spawn eng ~name:"a" (fun () ->
+      Resource.consume r 10.;
+      Engine.sleep eng 5.;
+      Resource.consume r 10.;
+      feq "no charge for idle gap" 7.0 (Engine.now eng));
+  Engine.run eng;
+  feq "busy excludes idle" 2.0 (Resource.busy_seconds r)
+
+let test_condition () =
+  let eng = Engine.create () in
+  let cond = Condition.create eng in
+  let state = ref 0 in
+  let woke = ref (-1.) in
+  Engine.spawn eng ~name:"waiter" (fun () ->
+      Condition.wait_until cond (fun () -> !state >= 3);
+      woke := Engine.now eng);
+  Engine.spawn eng ~name:"producer" (fun () ->
+      for _ = 1 to 3 do
+        Engine.sleep eng 1.;
+        incr state;
+        Condition.broadcast cond
+      done);
+  Engine.run eng;
+  feq "woke when predicate held" 3.0 !woke
+
+let test_nested_spawn () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng ~name:"parent" (fun () ->
+      Engine.sleep eng 1.;
+      Engine.spawn eng ~name:"child" (fun () ->
+          Engine.sleep eng 1.;
+          log := "child" :: !log);
+      log := "parent" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string)) "both ran" [ "parent"; "child" ] (List.rev !log);
+  feq "child extended the run" 2.0 (Engine.now eng)
+
+let test_many_processes_scale () =
+  let eng = Engine.create () in
+  let n = 10_000 in
+  let done_count = ref 0 in
+  for i = 1 to n do
+    Engine.spawn eng ~name:(Printf.sprintf "p%d" i) (fun () ->
+        Engine.sleep eng (float_of_int (i mod 17) *. 0.001);
+        incr done_count)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "all completed" n !done_count
+
+let suite =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "clock and sleep" `Quick test_clock_and_sleep;
+        Alcotest.test_case "deterministic ties" `Quick
+          test_deterministic_tie_break;
+        Alcotest.test_case "run until / resume" `Quick test_run_until;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "daemons exempt from deadlock" `Quick
+          test_daemon_does_not_deadlock;
+        Alcotest.test_case "polling daemon stops with work" `Quick
+          test_daemon_polling_stops_with_work;
+        Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+        Alcotest.test_case "10k processes" `Quick test_many_processes_scale;
+      ] );
+    ( "sim.sync",
+      [
+        Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+        Alcotest.test_case "mailbox waiter order" `Quick
+          test_mailbox_many_waiters;
+        Alcotest.test_case "ivar broadcast + double fill" `Quick test_ivar;
+        Alcotest.test_case "semaphore as mutex" `Quick test_semaphore_mutex;
+        Alcotest.test_case "semaphore counting" `Quick test_semaphore_counting;
+        Alcotest.test_case "resource fifo rate" `Quick test_resource_fifo_rate;
+        Alcotest.test_case "resource idle gap" `Quick test_resource_idle_gap;
+        Alcotest.test_case "condition wait_until" `Quick test_condition;
+      ] );
+  ]

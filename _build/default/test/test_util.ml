@@ -1,0 +1,402 @@
+(* Unit and property tests for the interval / extent-map / content
+   substrate (lib/util). *)
+
+open Ccpfs_util
+
+let iv lo hi = Interval.v ~lo ~hi
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basic () =
+  let a = iv 0 10 and b = iv 5 15 and c = iv 10 20 in
+  Alcotest.(check int) "length" 10 (Interval.length a);
+  Alcotest.(check bool) "overlaps" true (Interval.overlaps a b);
+  Alcotest.(check bool) "adjacent do not overlap" false (Interval.overlaps a c);
+  Alcotest.(check bool) "adjacent touch" true (Interval.touches a c);
+  Alcotest.(check bool) "contains" true (Interval.contains (iv 0 20) b);
+  Alcotest.(check bool) "not contains" false (Interval.contains b (iv 0 20));
+  Alcotest.(check bool) "mem lo" true (Interval.mem a 0);
+  Alcotest.(check bool) "mem hi excluded" false (Interval.mem a 10)
+
+let test_interval_inter_hull () =
+  let a = iv 0 10 and b = iv 5 15 in
+  (match Interval.inter a b with
+  | Some i -> Alcotest.(check bool) "inter" true (Interval.equal i (iv 5 10))
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "disjoint inter" true
+    (Interval.inter (iv 0 5) (iv 5 10) = None);
+  Alcotest.(check bool) "hull" true (Interval.equal (Interval.hull a b) (iv 0 15))
+
+let test_interval_align () =
+  let a = iv 5 6001 in
+  let al = Interval.align ~page:4096 a in
+  Alcotest.(check bool) "aligned" true (Interval.equal al (iv 0 8192));
+  let e = Interval.to_eof ~lo:5000 in
+  let ae = Interval.align ~page:4096 e in
+  Alcotest.(check int) "eof preserved" Interval.eof ae.Interval.hi;
+  Alcotest.(check int) "lo aligned down" 4096 ae.Interval.lo
+
+let test_interval_split () =
+  let a = iv 0 10 in
+  (match Interval.split_at a 5 with
+  | Some l, Some r ->
+      Alcotest.(check bool) "left" true (Interval.equal l (iv 0 5));
+      Alcotest.(check bool) "right" true (Interval.equal r (iv 5 10))
+  | _ -> Alcotest.fail "expected both parts");
+  (match Interval.split_at a 0 with
+  | None, Some r -> Alcotest.(check bool) "all right" true (Interval.equal r a)
+  | _ -> Alcotest.fail "expected right only");
+  match Interval.split_at a 10 with
+  | Some l, None -> Alcotest.(check bool) "all left" true (Interval.equal l a)
+  | _ -> Alcotest.fail "expected left only"
+
+let test_interval_invalid () =
+  Alcotest.check_raises "hi<=lo" (Invalid_argument "Interval.v: hi <= lo")
+    (fun () -> ignore (iv 5 5));
+  Alcotest.check_raises "neg" (Invalid_argument "Interval.v: negative lo")
+    (fun () -> ignore (iv (-1) 5))
+
+(* ------------------------------------------------------------------ *)
+(* Extent_map                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let em_of_list l = Extent_map.of_list (List.map (fun (lo, hi, v) -> (iv lo hi, v)) l)
+
+let em_to_triples m =
+  Extent_map.to_list m
+  |> List.map (fun ((i : Interval.t), v) -> (i.lo, i.hi, v))
+
+let triples = Alcotest.(list (triple int int int))
+
+let test_em_set_disjoint () =
+  let m = em_of_list [ (0, 10, 1); (20, 30, 2) ] in
+  Extent_map.check_invariants m;
+  Alcotest.check triples "two extents" [ (0, 10, 1); (20, 30, 2) ]
+    (em_to_triples m)
+
+let test_em_set_overwrite_middle () =
+  let m = em_of_list [ (0, 30, 1); (10, 20, 2) ] in
+  Extent_map.check_invariants m;
+  Alcotest.check triples "split" [ (0, 10, 1); (10, 20, 2); (20, 30, 1) ]
+    (em_to_triples m)
+
+let test_em_set_overwrite_spanning () =
+  let m = em_of_list [ (0, 10, 1); (20, 30, 2); (5, 25, 3) ] in
+  Extent_map.check_invariants m;
+  Alcotest.check triples "span" [ (0, 5, 1); (5, 25, 3); (25, 30, 2) ]
+    (em_to_triples m)
+
+let test_em_remove () =
+  let m = em_of_list [ (0, 30, 1) ] in
+  let m = Extent_map.remove m (iv 10 20) in
+  Extent_map.check_invariants m;
+  Alcotest.check triples "hole" [ (0, 10, 1); (20, 30, 1) ] (em_to_triples m)
+
+let test_em_find () =
+  let m = em_of_list [ (0, 10, 1); (20, 30, 2) ] in
+  Alcotest.(check (option int)) "inside" (Some 1) (Extent_map.find m 5);
+  Alcotest.(check (option int)) "gap" None (Extent_map.find m 15);
+  Alcotest.(check (option int)) "boundary excluded" None (Extent_map.find m 10);
+  Alcotest.(check (option int)) "boundary included" (Some 2) (Extent_map.find m 20)
+
+let test_em_overlapping_clips () =
+  let m = em_of_list [ (0, 10, 1); (10, 20, 2); (25, 30, 3) ] in
+  let ov = Extent_map.overlapping m (iv 5 27) in
+  let got = List.map (fun ((i : Interval.t), v) -> (i.lo, i.hi, v)) ov in
+  Alcotest.check triples "clipped" [ (5, 10, 1); (10, 20, 2); (25, 27, 3) ] got
+
+let test_em_covered () =
+  let m = em_of_list [ (0, 10, 1); (10, 20, 2) ] in
+  Alcotest.(check bool) "covered" true (Extent_map.covered m (iv 0 20));
+  Alcotest.(check bool) "partial" false (Extent_map.covered m (iv 0 21));
+  let m = Extent_map.remove m (iv 5 6) in
+  Alcotest.(check bool) "hole detected" false (Extent_map.covered m (iv 0 20))
+
+let test_em_merge_update_set () =
+  (* The paper's Fig. 15 example: extent cache holds [0,2K)@8 via
+     merging D[0,4K,8]; then D[0,2K,7], D[2K,4K,9], D[4K,8K,9] arrive. *)
+  let k = 1024 in
+  let m = em_of_list [ (0, 4 * k, 8) ] in
+  let keep_new sn ~old = sn > old in
+  let m, won1 = Extent_map.merge m (iv 0 (2 * k)) 7 ~keep_new:(keep_new 7) in
+  Alcotest.(check int) "old data discarded" 0 (List.length won1);
+  let m, won2 =
+    Extent_map.merge m (iv (2 * k) (4 * k)) 9 ~keep_new:(keep_new 9)
+  in
+  Alcotest.(check (list (pair int int)))
+    "update set covers overwritten part"
+    [ (2 * k, 4 * k) ]
+    (List.map (fun (i : Interval.t) -> (i.lo, i.hi)) won2);
+  let m, won3 =
+    Extent_map.merge m (iv (4 * k) (8 * k)) 9 ~keep_new:(keep_new 9)
+  in
+  Alcotest.(check (list (pair int int)))
+    "gap filled" [ (4 * k, 8 * k) ]
+    (List.map (fun (i : Interval.t) -> (i.lo, i.hi)) won3);
+  Extent_map.check_invariants m;
+  Alcotest.check triples "final cache"
+    [ (0, 2 * k, 8); (2 * k, 4 * k, 9); (4 * k, 8 * k, 9) ]
+    (em_to_triples m)
+
+let test_em_coalesce () =
+  let m = em_of_list [ (0, 10, 1); (10, 20, 1); (20, 30, 2); (40, 50, 2) ] in
+  let m = Extent_map.coalesce ~eq:Int.equal m in
+  Extent_map.check_invariants m;
+  Alcotest.check triples "merged adjacent equal"
+    [ (0, 20, 1); (20, 30, 2); (40, 50, 2) ]
+    (em_to_triples m)
+
+let test_em_filter () =
+  let m = em_of_list [ (0, 10, 1); (10, 20, 2); (20, 30, 3) ] in
+  let m = Extent_map.filter (fun _ v -> v <> 2) m in
+  Alcotest.check triples "filtered" [ (0, 10, 1); (20, 30, 3) ] (em_to_triples m)
+
+(* Model-based property test: an extent map must agree with a naive
+   per-byte array under a random sequence of set/remove operations. *)
+let prop_em_matches_model =
+  let open QCheck in
+  let bound = 64 in
+  let op =
+    Gen.(
+      oneof
+        [
+          map3 (fun lo len v -> `Set (lo, len, v)) (int_bound (bound - 2))
+            (int_range 1 8) (int_bound 5);
+          map2 (fun lo len -> `Remove (lo, len)) (int_bound (bound - 2))
+            (int_range 1 8);
+        ])
+  in
+  let print_op = function
+    | `Set (lo, len, v) -> Printf.sprintf "set[%d,+%d)=%d" lo len v
+    | `Remove (lo, len) -> Printf.sprintf "rm[%d,+%d)" lo len
+  in
+  Test.make ~name:"extent_map agrees with per-byte model" ~count:300
+    (make ~print:Print.(list print_op) (Gen.list_size (Gen.int_range 1 40) op))
+    (fun ops ->
+      let model = Array.make bound None in
+      let m =
+        List.fold_left
+          (fun m op ->
+            match op with
+            | `Set (lo, len, v) ->
+                let hi = min bound (lo + len) in
+                for i = lo to hi - 1 do
+                  model.(i) <- Some v
+                done;
+                Extent_map.set m (iv lo hi) v
+            | `Remove (lo, len) ->
+                let hi = min bound (lo + len) in
+                for i = lo to hi - 1 do
+                  model.(i) <- None
+                done;
+                Extent_map.remove m (iv lo hi))
+          Extent_map.empty ops
+      in
+      Extent_map.check_invariants m;
+      let ok = ref true in
+      for i = 0 to bound - 1 do
+        if Extent_map.find m i <> model.(i) then ok := false
+      done;
+      !ok)
+
+let prop_em_merge_matches_model =
+  let open QCheck in
+  let bound = 64 in
+  let op =
+    Gen.(
+      map3
+        (fun lo len sn -> (lo, len, sn))
+        (int_bound (bound - 2)) (int_range 1 10) (int_bound 10))
+  in
+  Test.make ~name:"merge keeps max SN per byte" ~count:300
+    (make
+       ~print:
+         Print.(list (fun (l, n, s) -> Printf.sprintf "w[%d,+%d)sn%d" l n s))
+       (Gen.list_size (Gen.int_range 1 40) op))
+    (fun writes ->
+      let model = Array.make bound (-1) in
+      let m =
+        List.fold_left
+          (fun m (lo, len, sn) ->
+            let hi = min bound (lo + len) in
+            for i = lo to hi - 1 do
+              if sn > model.(i) then model.(i) <- sn
+            done;
+            let m, _ =
+              Extent_map.merge m (iv lo hi) sn ~keep_new:(fun ~old -> sn > old)
+            in
+            m)
+          Extent_map.empty writes
+      in
+      Extent_map.check_invariants m;
+      let ok = ref true in
+      for i = 0 to bound - 1 do
+        let got = Option.value (Extent_map.find m i) ~default:(-1) in
+        if got <> model.(i) then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Content                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tag w op sn = { Content.writer = w; op; sn }
+
+let test_content_in_order () =
+  let c = Content.write Content.empty (iv 0 100) (tag 1 0 1) in
+  let c = Content.write c (iv 50 150) (tag 2 0 2) in
+  match Content.read c (iv 0 150) with
+  | [ (_, Some t1); (_, Some t2) ] ->
+      Alcotest.(check int) "first writer" 1 t1.Content.writer;
+      Alcotest.(check int) "second writer" 2 t2.Content.writer
+  | l -> Alcotest.fail (Printf.sprintf "unexpected segments: %d" (List.length l))
+
+let test_content_out_of_order () =
+  (* An SN-9 flush landing before an SN-7 flush must win on overlap. *)
+  let c, _ = Content.write_if_newer Content.empty (iv 0 100) (tag 2 0 9) in
+  let c, won = Content.write_if_newer c (iv 50 150) (tag 1 0 7) in
+  Alcotest.(check (list (pair int int)))
+    "only non-overlap applied" [ (100, 150) ]
+    (List.map (fun (i : Interval.t) -> (i.lo, i.hi)) won);
+  Alcotest.(check (option int)) "newer kept"
+    (Some 9)
+    (match Content.read c (iv 60 61) with
+    | [ (_, Some t) ] -> Some t.Content.sn
+    | _ -> None)
+
+let test_content_equal_checksum () =
+  let mk order =
+    List.fold_left
+      (fun c (lo, hi, t) -> fst (Content.write_if_newer c (iv lo hi) t))
+      Content.empty order
+  in
+  let a = mk [ (0, 100, tag 1 0 1); (50, 150, tag 2 0 2) ] in
+  let b = mk [ (50, 150, tag 2 0 2); (0, 100, tag 1 0 1) ] in
+  Alcotest.(check bool) "order independent" true (Content.equal a b);
+  Alcotest.(check int) "checksums equal" (Content.checksum a) (Content.checksum b);
+  let c = mk [ (0, 100, tag 1 0 2); (50, 150, tag 2 0 1) ] in
+  Alcotest.(check bool) "different content differs" false (Content.equal a c)
+
+let test_content_holes () =
+  let c = Content.write Content.empty (iv 10 20) (tag 1 0 1) in
+  match Content.read c (iv 0 30) with
+  | [ (h1, None); (_, Some _); (h2, None) ] ->
+      Alcotest.(check (pair int int)) "hole 1" (0, 10) (h1.Interval.lo, h1.Interval.hi);
+      Alcotest.(check (pair int int)) "hole 2" (20, 30) (h2.Interval.lo, h2.Interval.hi)
+  | _ -> Alcotest.fail "expected hole/data/hole"
+
+(* ------------------------------------------------------------------ *)
+(* Stats / Table / Units / Det_random                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.max s);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile s 100.);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.) (Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.)) "mean empty" 0. (Stats.mean s);
+  Alcotest.(check (float 0.)) "pct empty" 0. (Stats.percentile s 50.)
+
+let test_units () =
+  Alcotest.(check string) "64KiB" "64KiB" (Units.bytes_to_string (64 * 1024));
+  Alcotest.(check string) "1MiB" "1MiB" (Units.bytes_to_string (1024 * 1024));
+  Alcotest.(check string) "odd" "47008B" (Units.bytes_to_string 47008);
+  Alcotest.(check string) "GB/s" "3.00GB/s" (Units.bandwidth_to_string 3e9);
+  Alcotest.(check string) "ms" "1.50ms" (Units.seconds_to_string 1.5e-3)
+
+let string_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let test_table_render () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  Table.add_note t "n";
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (string_contains s "== t ==");
+  Alcotest.(check bool) "has note" true (string_contains s "note: n");
+  Alcotest.(check bool) "short row padded" true (string_contains s "333");
+  let csv = Table.render_csv t in
+  Alcotest.(check bool) "csv header" true (string_contains csv "a,bb");
+  Alcotest.(check bool) "csv rows, no notes" true
+    (string_contains csv "1,2" && not (string_contains csv "note"))
+
+let test_csv_quoting () =
+  let t = Table.create ~title:"q" ~columns:[ "x" ] in
+  Table.add_row t [ "has,comma" ];
+  Table.add_row t [ "has\"quote" ];
+  let csv = Table.render_csv t in
+  Alcotest.(check bool) "comma quoted" true
+    (string_contains csv "\"has,comma\"");
+  Alcotest.(check bool) "quote doubled" true
+    (string_contains csv "\"has\"\"quote\"")
+
+let test_det_random () =
+  let a = Det_random.create ~seed:42 and b = Det_random.create ~seed:42 in
+  let xs = List.init 20 (fun _ -> Det_random.int a 1000) in
+  let ys = List.init 20 (fun _ -> Det_random.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" xs ys;
+  let s1 = Det_random.split a and s1' = Det_random.split b in
+  Alcotest.(check int) "splits agree" (Det_random.int s1 1000)
+    (Det_random.int s1' 1000)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "util.interval",
+      [
+        Alcotest.test_case "basic predicates" `Quick test_interval_basic;
+        Alcotest.test_case "inter and hull" `Quick test_interval_inter_hull;
+        Alcotest.test_case "page alignment" `Quick test_interval_align;
+        Alcotest.test_case "split_at" `Quick test_interval_split;
+        Alcotest.test_case "invalid args" `Quick test_interval_invalid;
+      ] );
+    ( "util.extent_map",
+      [
+        Alcotest.test_case "set disjoint" `Quick test_em_set_disjoint;
+        Alcotest.test_case "overwrite middle splits" `Quick
+          test_em_set_overwrite_middle;
+        Alcotest.test_case "overwrite spanning" `Quick
+          test_em_set_overwrite_spanning;
+        Alcotest.test_case "remove punches hole" `Quick test_em_remove;
+        Alcotest.test_case "find" `Quick test_em_find;
+        Alcotest.test_case "overlapping clips" `Quick test_em_overlapping_clips;
+        Alcotest.test_case "covered" `Quick test_em_covered;
+        Alcotest.test_case "merge update set (Fig. 15)" `Quick
+          test_em_merge_update_set;
+        Alcotest.test_case "coalesce" `Quick test_em_coalesce;
+        Alcotest.test_case "filter" `Quick test_em_filter;
+        q prop_em_matches_model;
+        q prop_em_merge_matches_model;
+      ] );
+    ( "util.content",
+      [
+        Alcotest.test_case "in-order writes" `Quick test_content_in_order;
+        Alcotest.test_case "out-of-order flush kept by SN" `Quick
+          test_content_out_of_order;
+        Alcotest.test_case "equality and checksum" `Quick
+          test_content_equal_checksum;
+        Alcotest.test_case "holes" `Quick test_content_holes;
+      ] );
+    ( "util.misc",
+      [
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "stats empty" `Quick test_stats_empty;
+        Alcotest.test_case "units" `Quick test_units;
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+        Alcotest.test_case "det_random" `Quick test_det_random;
+      ] );
+  ]
