@@ -14,6 +14,17 @@ let scale_arg =
   in
   Arg.(value & opt (some float) None & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
 
+let check_arg =
+  let doc =
+    "Run under the protocol sanitizer: assert the DLM invariants on every \
+     lock-server transition, audit client caches, analyze engine stalls \
+     into wait-for graphs, and execute every scenario twice to verify \
+     determinism."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let apply_check check = if check then Check.Sanitize.enable_all ()
+
 let list_cmd =
   let run () =
     List.iter
@@ -29,7 +40,8 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run id scale =
+  let run id scale check =
+    apply_check check;
     match Experiments.Registry.find id with
     | Some e ->
         Experiments.Registry.run_one ?scale e;
@@ -40,7 +52,7 @@ let run_cmd =
             Printf.sprintf "unknown experiment %S; try `ccpfs_run list`" id )
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment")
-    Term.(ret (const run $ id_arg $ scale_arg))
+    Term.(ret (const run $ id_arg $ scale_arg $ check_arg))
 
 (* A narrated protocol timeline: three clients contend for one stripe
    under a chosen policy, and every lock-server step is printed with its
@@ -88,13 +100,45 @@ let trace_cmd =
     Term.(ret (const run $ policy_arg))
 
 let all_cmd =
-  let run scale = Experiments.Registry.run_all ?scale () in
+  let run scale check =
+    apply_check check;
+    Experiments.Registry.run_all ?scale ()
+  in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ check_arg)
+
+(* Model-checking lite: replay a three-client write-contention scenario
+   under every same-timestamp tie-break ordering the event heap allows,
+   asserting the protocol invariants after each schedule. *)
+let explore_cmd =
+  let max_arg =
+    let doc = "Bound on the number of schedules to explore." in
+    Arg.(value & opt int 10_000 & info [ "m"; "max-schedules" ] ~docv:"N" ~doc)
+  in
+  let run max_schedules =
+    match Check.Scenarios.explore_contention ~max_schedules () with
+    | r ->
+        Format.printf
+          "three-client NBW contention, all 6 arrival orders: %a, every \
+           schedule invariant-clean@."
+          Check.Explore.pp_result r;
+        if r.Check.Explore.complete then `Ok ()
+        else `Error (false, "schedule bound hit; raise --max-schedules")
+    | exception (Check.Explore.Schedule_failed _ as e) ->
+        `Error (false, Printexc.to_string e)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively model-check a small contention scenario over all \
+          event-tie orderings")
+    Term.(ret (const run $ max_arg))
 
 let () =
   let info =
     Cmd.info "ccpfs_run" ~version:"1.0.0"
       ~doc:"Reproduce the SeqDLM / ccPFS evaluation (SC '22)"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; explore_cmd ]))

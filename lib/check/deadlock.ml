@@ -1,0 +1,138 @@
+open Ccpfs_util
+open Dessim
+open Seqdlm
+
+type edge = {
+  e_waiter : Types.client_id;
+  e_holder : Types.client_id;
+  e_rid : Types.resource_id;
+  e_wait_mode : Mode.t;
+  e_hold_mode : Mode.t;
+  e_hold_state : Lcm.lock_state;
+  e_wait_ranges : Interval.t list;
+  e_hold_ranges : Interval.t list;
+}
+
+type report = {
+  edges : edge list;
+  cycles : Types.client_id list list;
+  blocked : Engine.blocked_proc list;
+}
+
+exception Deadlock_found of report
+
+(* One edge per (queued request, granted lock) pair the server is
+   actually blocking on — the same conflict test the scheduler uses, so
+   the graph reflects what the DLM will wait for, not what Table II says
+   it should. *)
+let edges_of_server srv =
+  List.concat_map
+    (fun rid ->
+      let granted = Lock_server.granted_locks srv rid in
+      List.concat_map
+        (fun (w : Lock_server.waiter_view) ->
+          List.filter_map
+            (fun (g : Lock_server.lock_view) ->
+              if
+                g.v_client <> w.q_client
+                && Types.ranges_overlap w.q_ranges g.v_ranges
+                && not
+                     (Lcm.compatible ~req:w.q_eff_mode ~granted:g.v_mode
+                        ~state:g.v_state)
+              then
+                Some
+                  {
+                    e_waiter = w.q_client;
+                    e_holder = g.v_client;
+                    e_rid = rid;
+                    e_wait_mode = w.q_eff_mode;
+                    e_hold_mode = g.v_mode;
+                    e_hold_state = g.v_state;
+                    e_wait_ranges = w.q_ranges;
+                    e_hold_ranges = g.v_ranges;
+                  }
+              else None)
+            granted)
+        (Lock_server.waiting_view srv rid))
+    (Lock_server.resource_ids srv)
+
+(* Rotate a cycle so its smallest client comes first — cycles found from
+   different DFS roots then compare equal. *)
+let canonical cycle =
+  match cycle with
+  | [] -> []
+  | _ ->
+      let n = List.length cycle in
+      let arr = Array.of_list cycle in
+      let start = ref 0 in
+      Array.iteri (fun i c -> if c < arr.(!start) then start := i) arr;
+      List.init n (fun i -> arr.((!start + i) mod n))
+
+let find_cycles edges =
+  let adj : (Types.client_id, Types.client_id list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt adj e.e_waiter) in
+      if not (List.mem e.e_holder cur) then
+        Hashtbl.replace adj e.e_waiter (e.e_holder :: cur))
+    edges;
+  let cycles = ref [] in
+  let visited : (Types.client_id, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec dfs path c =
+    match List.find_index (Int.equal c) path with
+    | Some i ->
+        (* path is most-recent-first; the first i+1 entries close the
+           loop back to [c]. *)
+        let cycle = List.rev (List.filteri (fun j _ -> j <= i) path) in
+        let cycle = canonical cycle in
+        if not (List.mem cycle !cycles) then cycles := cycle :: !cycles
+    | None ->
+        if not (Hashtbl.mem visited c) then begin
+          Hashtbl.add visited c ();
+          List.iter
+            (dfs (c :: path))
+            (Option.value ~default:[] (Hashtbl.find_opt adj c))
+        end
+  in
+  Hashtbl.iter (fun c _ -> dfs [] c) adj;
+  List.rev !cycles
+
+let analyze ~servers ~blocked =
+  let edges = List.concat_map edges_of_server servers in
+  { edges; cycles = find_cycles edges; blocked }
+
+let pp_edge ppf e =
+  Format.fprintf ppf "c%d (%s %a) waits on c%d holding %s/%s %a of r%d"
+    e.e_waiter
+    (Mode.to_string e.e_wait_mode)
+    Invariant.pp_ranges e.e_wait_ranges e.e_holder
+    (Mode.to_string e.e_hold_mode)
+    (Lcm.state_to_string e.e_hold_state)
+    Invariant.pp_ranges e.e_hold_ranges e.e_rid
+
+let pp ppf r =
+  Format.fprintf ppf "deadlock: %d blocked process(es)"
+    (List.length (Engine.blocked_names r.blocked));
+  List.iter
+    (fun b -> Format.fprintf ppf "@\n  %a" Engine.pp_blocked b)
+    r.blocked;
+  (match r.edges with
+  | [] -> Format.fprintf ppf "@\nno lock waits — stuck outside the DLM"
+  | edges ->
+      Format.fprintf ppf "@\nwait-for graph:";
+      List.iter (fun e -> Format.fprintf ppf "@\n  %a" pp_edge e) edges);
+  List.iter
+    (fun cycle ->
+      Format.fprintf ppf "@\ncycle: %s"
+        (String.concat " -> "
+           (List.map (Printf.sprintf "c%d") (cycle @ [ List.hd cycle ]))))
+    r.cycles
+
+let to_string r = Format.asprintf "@[<v>%a@]" pp r
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock_found r -> Some (to_string r)
+    | _ -> None)

@@ -1,0 +1,15 @@
+open Dessim
+
+let fingerprint run =
+  let eng = run () in
+  Engine.fingerprint eng
+
+let check ~name run =
+  let fp1 = fingerprint run in
+  let fp2 = fingerprint run in
+  if not (Int64.equal fp1 fp2) then
+    Violation.fail ~inv:"determinism"
+      "scenario %s diverged between identical runs: event-stream \
+       fingerprints %Lx vs %Lx"
+      name fp1 fp2;
+  fp1

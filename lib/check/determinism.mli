@@ -1,0 +1,14 @@
+(** The determinism checker.
+
+    The whole experimental methodology rests on the simulator being a
+    deterministic function of its inputs.  [check ~name run] executes
+    [run] twice — each call must build a fresh world and return its
+    engine after running it — and compares the FNV-1a fingerprints of the
+    two event streams (dispatch time, process id, process name, per
+    event).  Any divergence (hidden global state, hash-order dependence,
+    wall-clock leakage) raises {!Violation.Violation}. *)
+
+open Dessim
+
+val check : name:string -> (unit -> Engine.t) -> int64
+(** Returns the (common) fingerprint on success. *)

@@ -1,0 +1,80 @@
+type result = { schedules : int; complete : bool }
+
+exception
+  Schedule_failed of {
+    index : int;
+    choices : (int * int) list;
+    exn : exn;
+    backtrace : Printexc.raw_backtrace;
+  }
+
+(* Depth-first search over the tree of tie-break decisions.  A schedule
+   is a path: each time the scenario asks how to order an n-way
+   same-timestamp tie we either follow the forced prefix or default to
+   choice 0, recording (choice, arity) as we go.  Backtracking bumps the
+   deepest decision that still has unexplored branches and replays. *)
+let run ?(max_schedules = 10_000) f =
+  let schedules = ref 0 in
+  let complete = ref true in
+  let prefix = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let trail = ref [] (* deepest decision first *) in
+    let remaining = ref !prefix in
+    let choose n =
+      let c =
+        match !remaining with
+        | c :: tl ->
+            remaining := tl;
+            min c (n - 1)
+        | [] -> 0
+      in
+      trail := (c, n) :: !trail;
+      c
+    in
+    (try f choose
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       raise
+         (Schedule_failed
+            {
+              index = !schedules;
+              choices = List.rev !trail;
+              exn = e;
+              backtrace = bt;
+            }));
+    incr schedules;
+    if !schedules >= max_schedules then begin
+      complete := false;
+      continue_ := false
+    end
+    else begin
+      let rec next = function
+        | [] -> None
+        | (c, n) :: earlier ->
+            if c + 1 < n then Some (List.rev_map fst earlier @ [ c + 1 ])
+            else next earlier
+      in
+      match next !trail with
+      | None -> continue_ := false
+      | Some p -> prefix := p
+    end
+  done;
+  { schedules = !schedules; complete = !complete }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%d schedule(s)%s" r.schedules
+    (if r.complete then ", exhaustive" else " (bounded, not exhaustive)")
+
+let () =
+  Printexc.register_printer (function
+    | Schedule_failed { index; choices; exn; _ } ->
+        Some
+          (Printf.sprintf
+             "schedule %d (tie-breaks [%s]) failed: %s" index
+             (String.concat "; "
+                (List.map
+                   (fun (c, n) -> Printf.sprintf "%d/%d" c n)
+                   choices))
+             (Printexc.to_string exn))
+    | _ -> None)

@@ -1,0 +1,28 @@
+(** Schedule exploration (model-checking lite).
+
+    The engine breaks same-timestamp ties deterministically by spawn
+    order; real systems do not get to choose.  [run f] drives the
+    scenario [f] through {e every} tie-break ordering: [f] receives a
+    chooser to install via [Dessim.Engine.set_tie_chooser] on a freshly
+    built world, and is re-executed once per distinct schedule,
+    depth-first.  Assert invariants inside [f] — a failure aborts the
+    search with {!Schedule_failed} carrying the decision path that
+    reproduces it.
+
+    Exhaustive only for small scenarios: the schedule count is the
+    product of all tie arities.  [max_schedules] (default 10k) bounds the
+    search; [result.complete] says whether the tree was exhausted. *)
+
+type result = { schedules : int; complete : bool }
+
+exception
+  Schedule_failed of {
+    index : int;  (** how many schedules had already passed *)
+    choices : (int * int) list;  (** (choice, arity) path, root first *)
+    exn : exn;
+    backtrace : Printexc.raw_backtrace;
+  }
+
+val run : ?max_schedules:int -> ((int -> int) -> unit) -> result
+
+val pp_result : Format.formatter -> result -> unit

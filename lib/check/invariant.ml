@@ -1,0 +1,150 @@
+open Ccpfs_util
+open Seqdlm
+open Ccpfs
+
+let pp_ranges ppf ranges =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       Interval.pp)
+    ranges
+
+let pp_lock ppf (v : Lock_server.lock_view) =
+  Format.fprintf ppf "#%d c%d %s/%s sn=%d %a" v.v_lock_id v.v_client
+    (Mode.to_string v.v_mode)
+    (Lcm.state_to_string v.v_state)
+    v.v_sn pp_ranges v.v_ranges
+
+(* No two granted locks may overlap unless Table II allows their
+   coexistence in at least one direction — the only asymmetric cells are
+   the NBW/BW-over-canceling-NBW early grants, which is exactly the
+   documented exception. *)
+let check_compat srv rid =
+  let locks = Lock_server.granted_locks srv rid in
+  let rec pairs = function
+    | [] -> ()
+    | (g : Lock_server.lock_view) :: rest ->
+        List.iter
+          (fun (h : Lock_server.lock_view) ->
+            if Types.ranges_overlap g.v_ranges h.v_ranges then
+              if
+                not
+                  (Lcm_oracle.compatible ~req:g.v_mode ~granted:h.v_mode
+                     ~state:h.v_state
+                  || Lcm_oracle.compatible ~req:h.v_mode ~granted:g.v_mode
+                       ~state:g.v_state)
+              then
+                Violation.fail ~inv:"lcm-compat"
+                  "%s r%d holds conflicting overlapping grants %a and %a"
+                  (Lock_server.name srv) rid pp_lock g pp_lock h)
+          rest;
+        pairs rest
+  in
+  pairs locks
+
+(* Write grants consume sequence numbers: per resource they must be
+   pairwise distinct and below the sequencer's next value (§III-C). *)
+let check_sn srv rid =
+  let next = Lock_server.next_sn srv rid in
+  let writes =
+    List.filter
+      (fun (v : Lock_server.lock_view) -> Mode.is_write v.v_mode)
+      (Lock_server.granted_locks srv rid)
+  in
+  List.iter
+    (fun (v : Lock_server.lock_view) ->
+      if v.v_sn >= next then
+        Violation.fail ~inv:"sn-rules"
+          "%s r%d write grant %a carries sn >= next_sn %d"
+          (Lock_server.name srv) rid pp_lock v next)
+    writes;
+  let sns = List.map (fun (v : Lock_server.lock_view) -> v.v_sn) writes in
+  if List.length sns <> List.length (List.sort_uniq Int.compare sns) then
+    Violation.fail ~inv:"sn-rules" "%s r%d has duplicate write-grant SNs: %a"
+      (Lock_server.name srv) rid
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_lock)
+      writes
+
+(* The per-resource queue is FIFO: enqueue timestamps must be
+   non-decreasing from head to tail (fairness, §II-A). *)
+let check_fifo srv rid =
+  let rec walk = function
+    | (a : Lock_server.waiter_view) :: (b :: _ as rest) ->
+        if a.q_enq_time > b.q_enq_time then
+          Violation.fail ~inv:"fifo-queue"
+            "%s r%d queue out of order: c%d (t=%g) before c%d (t=%g)"
+            (Lock_server.name srv) rid a.q_client a.q_enq_time b.q_client
+            b.q_enq_time;
+        walk rest
+    | [] | [ _ ] -> ()
+  in
+  walk (Lock_server.waiting_view srv rid)
+
+let builtin : (string * (Lock_server.t -> Types.resource_id -> unit)) list =
+  [
+    ("lcm-compat", check_compat); ("sn-rules", check_sn);
+    ("fifo-queue", check_fifo);
+  ]
+
+let extra : (string * (Lock_server.t -> Types.resource_id -> unit)) list ref =
+  ref []
+
+let register name f = extra := !extra @ [ (name, f) ]
+let checks () = builtin @ !extra
+
+let check_server srv =
+  List.iter
+    (fun rid -> List.iter (fun (_, f) -> f srv rid) (checks ()))
+    (Lock_server.resource_ids srv)
+
+(* Strict SN monotonicity, observed on the live grant stream rather than
+   reconstructed from state: each write grant on a resource must carry a
+   strictly larger SN than the previous one (the sequencer never reuses
+   or reorders, §III-C). *)
+let monitor_sn srv =
+  let last : (Types.resource_id, int) Hashtbl.t = Hashtbl.create 16 in
+  Lock_server.add_tracer srv (fun _now ev ->
+      match ev with
+      | Lock_server.T_grant (g, _) when Mode.is_write g.mode -> (
+          match Hashtbl.find_opt last g.rid with
+          | Some prev when g.sn <= prev ->
+              Violation.fail ~inv:"sn-monotone"
+                "%s r%d issued write sn %d after already issuing %d"
+                (Lock_server.name srv) g.rid g.sn prev
+          | _ -> Hashtbl.replace last g.rid g.sn)
+      | _ -> ())
+
+(* A client may hold dirty data only under the protection of a cached
+   write-capable lock covering it ("data can be cached in clients under
+   the protection of the cached locks", §I; flushing precedes release in
+   the cancel path, §III-D2). *)
+let check_client_rid ~lock_client ~cache rid =
+  let dirty =
+    match
+      List.find_opt (fun (r, _) -> r = rid) (Client_cache.dirty_view cache)
+    with
+    | Some (_, extents) -> extents
+    | None -> []
+  in
+  if dirty <> [] then begin
+    let protection =
+      Lock_client.locks_for_recovery lock_client ~owned:(fun _ -> true)
+      |> List.filter_map (fun (l : Lock_client.recovery_lock) ->
+             if l.r_rid = rid && Mode.can_write l.r_mode then Some l.r_ranges
+             else None)
+      |> List.concat |> Types.normalize_ranges
+    in
+    List.iter
+      (fun (iv, (_ : Content.tag)) ->
+        if not (List.exists (fun r -> Interval.contains r iv) protection) then
+          Violation.fail ~inv:"cache-under-lock"
+            "client %d holds dirty extent %a of r%d outside its write locks \
+             %a"
+            (Client_cache.client_id cache)
+            Interval.pp iv rid pp_ranges protection)
+      dirty
+  end
+
+let check_client ~lock_client ~cache =
+  List.iter
+    (fun (rid, _) -> check_client_rid ~lock_client ~cache rid)
+    (Client_cache.dirty_view cache)

@@ -1,0 +1,66 @@
+open Seqdlm
+
+(* Every cell of Table II spelled out one row at a time.  Resist the
+   temptation to compress with or-patterns that group modes: the value of
+   this table is that a bug slipped into [Lcm.compatible]'s grouping
+   logic cannot also be here. *)
+let compatible ~req ~granted ~state =
+  match (req, granted, state) with
+  (* row PR *)
+  | Mode.PR, Mode.PR, Lcm.Granted -> true
+  | Mode.PR, Mode.PR, Lcm.Canceling -> true
+  | Mode.PR, Mode.NBW, Lcm.Granted -> false
+  | Mode.PR, Mode.NBW, Lcm.Canceling -> false
+  | Mode.PR, Mode.BW, Lcm.Granted -> false
+  | Mode.PR, Mode.BW, Lcm.Canceling -> false
+  | Mode.PR, Mode.PW, Lcm.Granted -> false
+  | Mode.PR, Mode.PW, Lcm.Canceling -> false
+  (* row NBW — the N/Y pair in the NBW column is early grant *)
+  | Mode.NBW, Mode.PR, Lcm.Granted -> false
+  | Mode.NBW, Mode.PR, Lcm.Canceling -> false
+  | Mode.NBW, Mode.NBW, Lcm.Granted -> false
+  | Mode.NBW, Mode.NBW, Lcm.Canceling -> true
+  | Mode.NBW, Mode.BW, Lcm.Granted -> false
+  | Mode.NBW, Mode.BW, Lcm.Canceling -> false
+  | Mode.NBW, Mode.PW, Lcm.Granted -> false
+  | Mode.NBW, Mode.PW, Lcm.Canceling -> false
+  (* row BW — same early-grant pair as NBW *)
+  | Mode.BW, Mode.PR, Lcm.Granted -> false
+  | Mode.BW, Mode.PR, Lcm.Canceling -> false
+  | Mode.BW, Mode.NBW, Lcm.Granted -> false
+  | Mode.BW, Mode.NBW, Lcm.Canceling -> true
+  | Mode.BW, Mode.BW, Lcm.Granted -> false
+  | Mode.BW, Mode.BW, Lcm.Canceling -> false
+  | Mode.BW, Mode.PW, Lcm.Granted -> false
+  | Mode.BW, Mode.PW, Lcm.Canceling -> false
+  (* row PW — exclusive against everything *)
+  | Mode.PW, Mode.PR, Lcm.Granted -> false
+  | Mode.PW, Mode.PR, Lcm.Canceling -> false
+  | Mode.PW, Mode.NBW, Lcm.Granted -> false
+  | Mode.PW, Mode.NBW, Lcm.Canceling -> false
+  | Mode.PW, Mode.BW, Lcm.Granted -> false
+  | Mode.PW, Mode.BW, Lcm.Canceling -> false
+  | Mode.PW, Mode.PW, Lcm.Granted -> false
+  | Mode.PW, Mode.PW, Lcm.Canceling -> false
+
+let all_modes = [ Mode.PR; Mode.NBW; Mode.BW; Mode.PW ]
+let all_states = [ Lcm.Granted; Lcm.Canceling ]
+
+let cross_check () =
+  List.iter
+    (fun req ->
+      List.iter
+        (fun granted ->
+          List.iter
+            (fun state ->
+              let want = compatible ~req ~granted ~state in
+              let got = Lcm.compatible ~req ~granted ~state in
+              if want <> got then
+                Violation.fail ~inv:"lcm-table2"
+                  "Lcm.compatible ~req:%s ~granted:%s ~state:%s = %b, Table \
+                   II says %b"
+                  (Mode.to_string req) (Mode.to_string granted)
+                  (Lcm.state_to_string state) got want)
+            all_states)
+        all_modes)
+    all_modes

@@ -1,0 +1,52 @@
+open Dessim
+open Ccpfs
+
+let invariants_on = ref false
+let determinism_on = ref false
+
+let () =
+  match Sys.getenv_opt "CCPFS_CHECK" with
+  | Some ("full" | "all") ->
+      invariants_on := true;
+      determinism_on := true
+  | Some ("0" | "off" | "") | None -> ()
+  | Some _ -> invariants_on := true
+
+let enable_invariants () = invariants_on := true
+
+let enable_all () =
+  invariants_on := true;
+  determinism_on := true
+
+let enabled () = !invariants_on
+let determinism_enabled () = !determinism_on
+
+let servers cl = List.init (Cluster.n_servers cl) (Cluster.lock_server cl)
+
+let attach_server srv =
+  Seqdlm.Lock_server.set_validator srv Invariant.check_server;
+  Invariant.monitor_sn srv
+
+let attach_cluster cl =
+  List.iter attach_server (servers cl);
+  for i = 0 to Cluster.n_clients cl - 1 do
+    let c = Cluster.client cl i in
+    let lock_client = Client.lock_client c and cache = Client.cache c in
+    Client_cache.set_audit cache (fun ~rid ->
+        Invariant.check_client_rid ~lock_client ~cache rid)
+  done
+
+let check_cluster cl =
+  Lcm_oracle.cross_check ();
+  List.iter Invariant.check_server (servers cl);
+  for i = 0 to Cluster.n_clients cl - 1 do
+    let c = Cluster.client cl i in
+    Invariant.check_client ~lock_client:(Client.lock_client c)
+      ~cache:(Client.cache c)
+  done
+
+let run_cluster ?until cl =
+  try Cluster.run ?until cl
+  with Engine.Deadlock blocked ->
+    raise
+      (Deadlock.Deadlock_found (Deadlock.analyze ~servers:(servers cl) ~blocked))

@@ -1,0 +1,14 @@
+type t = { inv : string; detail : string }
+
+exception Violation of t
+
+let fail ~inv fmt =
+  Format.kasprintf (fun detail -> raise (Violation { inv; detail })) fmt
+
+let pp ppf v = Format.fprintf ppf "invariant [%s] violated: %s" v.inv v.detail
+let to_string v = Format.asprintf "%a" pp v
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some (to_string v)
+    | _ -> None)

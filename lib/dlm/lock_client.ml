@@ -12,7 +12,7 @@ type cached_lock = {
   lock_id : int;
   rid : Types.resource_id;
   mutable cmode : Mode.t;
-  mutable ranges : Interval.t list;
+  ranges : Interval.t list;
   csn : int;
   mutable state : Lcm.lock_state;
   mutable holders : int;
@@ -75,7 +75,10 @@ let start_cancel t (l : cached_lock) =
     Engine.spawn t.eng
       ~name:(Printf.sprintf "c%d.cancel.r%d#%d" t.id l.rid l.lock_id)
       (fun () ->
-        Condition.wait_until l.idle (fun () -> l.holders = 0);
+        Condition.wait_until
+          ~ctx:(Printf.sprintf "lock-idle:r%d#%d" l.rid l.lock_id)
+          l.idle
+          (fun () -> l.holders = 0);
         let srv = server t l.rid in
         let convert = (Lock_server.policy srv).Policy.auto_convert in
         let release () =

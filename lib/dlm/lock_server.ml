@@ -20,8 +20,8 @@ type lock = {
   id : int;
   client : Types.client_id;
   mutable mode : Mode.t;
-  mutable ranges : Interval.t list;
-  mutable hull : Interval.t;
+  ranges : Interval.t list;
+  hull : Interval.t;
   sn : int;
   mutable state : Lcm.lock_state;
   mutable revoke_sent : bool;
@@ -69,12 +69,19 @@ type t = {
   mutable lock_ep : (Types.request, Types.grant) Rpc.endpoint option;
   mutable ctl_ep : (Types.ctl_msg, unit) Rpc.endpoint option;
   mutable tracer : (float -> trace_event -> unit) option;
+  mutable validator : (t -> unit) option;
 }
 
 let trace t ev =
   match t.tracer with
   | Some f -> f (Engine.now t.eng) ev
   | None -> ()
+
+(* The sanitizer's post-transition hook: runs after every externally
+   triggered state change (request, control message, sync), once the
+   queue passes have settled. *)
+let validate t =
+  match t.validator with Some f -> f t | None -> ()
 
 let fresh_stats () =
   {
@@ -317,7 +324,8 @@ let handle_request t (req : Types.request) ~reply =
   rs.waiting <- rs.waiting @ [ w ];
   let q = List.length rs.waiting in
   if q > t.stats.max_queue then t.stats.max_queue <- q;
-  process t rs
+  process t rs;
+  validate t
 
 let handle_ctl t (msg : Types.ctl_msg) ~reply =
   (match msg with
@@ -346,6 +354,7 @@ let handle_ctl t (msg : Types.ctl_msg) ~reply =
         t.stats.releases <- t.stats.releases + 1;
         process t rs
       end);
+  validate t;
   reply ()
 
 let create eng params ~node ~name ~policy =
@@ -359,6 +368,7 @@ let create eng params ~node ~name ~policy =
       lock_ep = None;
       ctl_ep = None;
       tracer = None;
+      validator = None;
     }
   in
   t.lock_ep <-
@@ -416,7 +426,8 @@ let sync_resource t rid ~on_behalf ~reply =
     }
   in
   rs.waiting <- rs.waiting @ [ w ];
-  process t rs
+  process t rs;
+  validate t
 
 let crash t =
   Hashtbl.iter
@@ -480,6 +491,35 @@ let granted_locks t rid =
              })
       |> List.sort (fun a b -> Int.compare a.v_lock_id b.v_lock_id)
 
+type waiter_view = {
+  q_client : Types.client_id;
+  q_mode : Mode.t;
+  q_eff_mode : Mode.t;
+  q_ranges : Interval.t list;
+  q_enq_time : float;
+  q_internal : bool;
+}
+
+let waiting_view t rid =
+  match Hashtbl.find_opt t.resources rid with
+  | None -> []
+  | Some rs ->
+      List.map
+        (fun (w : waiter) ->
+          {
+            q_client = w.req.client;
+            q_mode = w.req.mode;
+            q_eff_mode = w.eff_mode;
+            q_ranges = w.req.ranges;
+            q_enq_time = w.enq_time;
+            q_internal = w.internal;
+          })
+        rs.waiting
+
+let resource_ids t =
+  Hashtbl.fold (fun rid _ acc -> rid :: acc) t.resources []
+  |> List.sort Int.compare
+
 let queue_length t rid =
   match Hashtbl.find_opt t.resources rid with
   | None -> 0
@@ -489,7 +529,21 @@ let next_sn t rid = (rstate t rid).next_sn
 let stats t = t.stats
 let policy t = t.policy
 let node t = t.node
+let name t = t.name
 let set_tracer t f = t.tracer <- Some f
+
+let add_tracer t f =
+  match t.tracer with
+  | None -> t.tracer <- Some f
+  | Some g ->
+      t.tracer <-
+        Some
+          (fun now ev ->
+            g now ev;
+            f now ev)
+
+let set_validator t f = t.validator <- Some f
+let clear_validator t = t.validator <- None
 
 let pp_trace_event ppf = function
   | T_request r -> Format.fprintf ppf "request  %a" Types.pp_request r

@@ -85,6 +85,22 @@ type trace_event =
 val set_tracer : t -> (float -> trace_event -> unit) -> unit
 val pp_trace_event : Format.formatter -> trace_event -> unit
 
+val add_tracer : t -> (float -> trace_event -> unit) -> unit
+(** Chain another tracer after whatever is already installed — the
+    sanitizer monitors the protocol this way without stealing the trace
+    slot from the CLI's [trace] command. *)
+
+(** {1 Sanitizer hooks}
+
+    The protocol sanitizer ([Check]) installs a validator that is invoked
+    after every externally triggered state transition — lock request,
+    control message (revoke-ack / downgrade / release), and resource sync —
+    once the scheduling passes it caused have settled.  The lock server
+    carries no knowledge of what is being checked. *)
+
+val set_validator : t -> (t -> unit) -> unit
+val clear_validator : t -> unit
+
 (** {1 Server recovery (§IV-C2)}
 
     A failed lock server loses its in-memory lock table.  Recovery first
@@ -121,11 +137,27 @@ type lock_view = {
 val granted_locks : t -> Types.resource_id -> lock_view list
 (** Sorted by lock id. *)
 
+type waiter_view = {
+  q_client : Types.client_id;
+  q_mode : Mode.t;  (** as requested *)
+  q_eff_mode : Mode.t;  (** after conversion joins *)
+  q_ranges : Ccpfs_util.Interval.t list;
+  q_enq_time : float;
+  q_internal : bool;  (** sync_resource pseudo-request *)
+}
+
+val waiting_view : t -> Types.resource_id -> waiter_view list
+(** The resource's FIFO queue, head first. *)
+
+val resource_ids : t -> Types.resource_id list
+(** Every resource this server has state for, ascending. *)
+
 val queue_length : t -> Types.resource_id -> int
 val next_sn : t -> Types.resource_id -> int
 val stats : t -> stats
 val policy : t -> Policy.t
 val node : t -> Netsim.Node.t
+val name : t -> string
 
 val check_invariants : t -> unit
 (** Asserts that no two granted locks are mutually incompatible while both

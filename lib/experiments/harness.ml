@@ -40,24 +40,43 @@ let collect cl ~pio ~f =
 type spawn = int -> string -> (Client.t -> unit) -> unit
 
 let run_custom ?params ?config ?policy ~servers ~clients setup k =
-  let cl = Cluster.create ?params ?config ?policy ~n_servers:servers
-      ~n_clients:clients ()
+  let one_pass () =
+    let cl = Cluster.create ?params ?config ?policy ~n_servers:servers
+        ~n_clients:clients ()
+    in
+    if Check.Sanitize.enabled () then Check.Sanitize.attach_cluster cl;
+    (* PIO ends when the last application process finishes; lock-cancel
+       flushing still running then is background work the application
+       never sees, charged to the F phase. *)
+    let writers_done = ref 0. in
+    let spawn i name body =
+      Cluster.spawn_client cl i ~name (fun c ->
+          body c;
+          if Cluster.now cl > !writers_done then writers_done := Cluster.now cl)
+    in
+    setup cl spawn;
+    Check.Sanitize.run_cluster cl;
+    let pio = !writers_done in
+    Cluster.fsync_all cl;
+    let f = Cluster.now cl -. pio in
+    Cluster.check_invariants cl;
+    if Check.Sanitize.enabled () then Check.Sanitize.check_cluster cl;
+    (cl, pio, f)
   in
-  (* PIO ends when the last application process finishes; lock-cancel
-     flushing still running then is background work the application
-     never sees, charged to the F phase. *)
-  let writers_done = ref 0. in
-  let spawn i name body =
-    Cluster.spawn_client cl i ~name (fun c ->
-        body c;
-        if Cluster.now cl > !writers_done then writers_done := Cluster.now cl)
+  let cl, pio, f =
+    if Check.Sanitize.determinism_enabled () then begin
+      (* The simulator must be a pure function of the scenario: build
+         and run the whole world twice and compare event streams. *)
+      let result = ref None in
+      ignore
+        (Check.Determinism.check ~name:"harness" (fun () ->
+             let (cl, _, _) as r = one_pass () in
+             result := Some r;
+             Cluster.engine cl));
+      Option.get !result
+    end
+    else one_pass ()
   in
-  setup cl spawn;
-  Cluster.run cl;
-  let pio = !writers_done in
-  Cluster.fsync_all cl;
-  let f = Cluster.now cl -. pio in
-  Cluster.check_invariants cl;
   k cl (collect cl ~pio ~f)
 
 let run_streams ?params ?config ?policy ?mode ?lock_whole_range

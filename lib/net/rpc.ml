@@ -49,7 +49,7 @@ let call_async t ~src ?req_bytes ?resp_bytes req =
   ivar
 
 let call t ~src ?req_bytes ?resp_bytes req =
-  Ivar.read (call_async t ~src ?req_bytes ?resp_bytes req)
+  Ivar.read ~ctx:("rpc:" ^ t.name) (call_async t ~src ?req_bytes ?resp_bytes req)
 
 let notify t ~src ?req_bytes req =
   let req_bytes = Option.value req_bytes ~default:t.params.Params.ctl_msg_bytes in

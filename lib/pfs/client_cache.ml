@@ -21,6 +21,7 @@ type t = {
   mutable cache_seconds : float;
   mutable flushed_bytes : int;
   mutable n_flush_rpcs : int;
+  mutable audit : (rid:int -> unit) option;
 }
 
 let rid_map t rid =
@@ -119,6 +120,7 @@ let create eng params config ~node ~client_id ~io_route =
       cache_seconds = 0.;
       flushed_bytes = 0;
       n_flush_rpcs = 0;
+      audit = None;
     }
   in
   Engine.spawn eng ~daemon:true
@@ -128,7 +130,7 @@ let create eng params config ~node ~client_id ~io_route =
 
 let write t ~rid ~range ~sn ~op =
   (* Forced-flush backpressure (§IV-C1): block while the cache is full. *)
-  Condition.wait_until t.space (fun () ->
+  Condition.wait_until ~ctx:"cache.space" t.space (fun () ->
       t.dirty_total < t.config.Config.dirty_max);
   let t0 = Engine.now t.eng in
   Resource.consume (Node.mem t.node) (float_of_int (Interval.length range));
@@ -151,7 +153,8 @@ let write t ~rid ~range ~sn ~op =
       cm := Extent_map.set !cm range (Some tag)
   | Some _ | None -> ());
   account t (Interval.length range - covered);
-  Condition.broadcast t.work
+  Condition.broadcast t.work;
+  match t.audit with Some f -> f ~rid | None -> ()
 
 let has_dirty t ~rid ~ranges =
   match Hashtbl.find_opt t.dirty rid with
@@ -225,6 +228,17 @@ let lose_all_dirty t =
   Condition.broadcast t.space;
   lost
 
+let dirty_view t =
+  Hashtbl.fold
+    (fun rid m acc ->
+      match Extent_map.to_list !m with
+      | [] -> acc
+      | extents -> (rid, extents) :: acc)
+    t.dirty []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let set_audit t f = t.audit <- Some f
+let client_id t = t.client_id
 let clean_bytes t = t.clean_total
 let read_cache_hits t = t.r_hits
 let read_cache_misses t = t.r_misses

@@ -82,3 +82,17 @@ val drop_clean : t -> rid:int -> range:Ccpfs_util.Interval.t -> unit
 val lose_all_dirty : t -> int
 (** Client crash (§IV-C1): every dirty byte vanishes.  Returns how many
     were lost. *)
+
+(** {1 Sanitizer hooks} *)
+
+val dirty_view :
+  t -> (int * (Ccpfs_util.Interval.t * Ccpfs_util.Content.tag) list) list
+(** Every stripe with dirty extents, ascending by rid, extents in offset
+    order — the sanitizer checks these against the client's cached lock
+    ranges. *)
+
+val set_audit : t -> (rid:int -> unit) -> unit
+(** Install a callback invoked after every dirty-cache mutation by
+    [write], with the stripe that changed. *)
+
+val client_id : t -> int

@@ -2,13 +2,14 @@ type t = { eng : Engine.t; waiters : (unit -> unit) Queue.t }
 
 let create eng = { eng; waiters = Queue.create () }
 
-let wait t = Engine.suspend t.eng (fun resume -> Queue.add resume t.waiters)
+let wait ?(ctx = "condition") t =
+  Engine.suspend ~ctx t.eng (fun resume -> Queue.add resume t.waiters)
 
-let rec wait_until t pred =
+let rec wait_until ?ctx t pred =
   if pred () then ()
   else begin
-    wait t;
-    wait_until t pred
+    wait ?ctx t;
+    wait_until ?ctx t pred
   end
 
 let signal t =

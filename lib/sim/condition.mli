@@ -7,10 +7,11 @@ type t
 
 val create : Engine.t -> t
 
-val wait : t -> unit
-(** Block until the next {!signal} or {!broadcast}. *)
+val wait : ?ctx:string -> t -> unit
+(** Block until the next {!signal} or {!broadcast}.  [ctx] names the
+    awaited state in {!Engine.Deadlock} reports. *)
 
-val wait_until : t -> (unit -> bool) -> unit
+val wait_until : ?ctx:string -> t -> (unit -> bool) -> unit
 (** Re-check the predicate after each wakeup; returns once it holds.
     Returns immediately if it already holds. *)
 

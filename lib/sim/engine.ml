@@ -1,10 +1,28 @@
-exception Deadlock of string list
+type blocked_proc = {
+  b_name : string;
+  b_pid : int;
+  b_daemon : bool;
+  b_context : string option;
+}
+
+exception Deadlock of blocked_proc list
+
+let blocked_names ?(daemons = false) bs =
+  List.filter_map
+    (fun b -> if b.b_daemon && not daemons then None else Some b.b_name)
+    bs
+
+let pp_blocked ppf (b : blocked_proc) =
+  Format.fprintf ppf "%s%s blocked on %s" b.b_name
+    (if b.b_daemon then " (daemon)" else "")
+    (Option.value b.b_context ~default:"<unknown>")
 
 type proc = {
   pid : int;
   name : string;
   daemon : bool;
   mutable blocked : bool;
+  mutable wait_ctx : string option;
   mutable done_ : bool;
 }
 
@@ -79,16 +97,42 @@ type t = {
   mutable regular_spawned : int;
   mutable next_pid : int;
   mutable dispatched : int;
-  mutable blocked_procs : proc list; (* regular procs currently suspended *)
+  mutable blocked_procs : proc list; (* all procs currently suspended *)
+  mutable fp : int64;
+  mutable tie_chooser : (int -> int) option;
 }
+
+(* FNV-1a, 64 bit: the event-stream fingerprint two runs of the same
+   scenario must agree on (the determinism sanitizer's divergence test). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
 
 let create () =
   { now = 0.; seq = 0; heap = Heap.create (); current = None; live = 0;
-    regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = [] }
+    regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = [];
+    fp = fnv_offset; tie_chooser = None }
 
 let now t = t.now
 let live_processes t = t.live
 let events_dispatched t = t.dispatched
+let fingerprint t = t.fp
+let set_tie_chooser t f = t.tie_chooser <- Some f
+let clear_tie_chooser t = t.tie_chooser <- None
 
 let push_event t ~time ~proc thunk =
   t.seq <- t.seq + 1;
@@ -98,20 +142,25 @@ let schedule t ?(delay = 0.) thunk =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   push_event t ~time:(t.now +. delay) ~proc:None thunk
 
-type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+type _ Effect.t +=
+  | Suspend : string option * ((unit -> unit) -> unit) -> unit Effect.t
 
-let mark_blocked t proc =
+let mark_blocked t proc ctx =
   proc.blocked <- true;
-  if not proc.daemon then t.blocked_procs <- proc :: t.blocked_procs
+  proc.wait_ctx <- ctx;
+  t.blocked_procs <- proc :: t.blocked_procs
 
 let mark_unblocked t proc =
   proc.blocked <- false;
-  if not proc.daemon then
-    t.blocked_procs <- List.filter (fun p -> p.pid <> proc.pid) t.blocked_procs
+  proc.wait_ctx <- None;
+  t.blocked_procs <- List.filter (fun p -> p.pid <> proc.pid) t.blocked_procs
 
 let spawn t ?(daemon = false) ~name body =
   t.next_pid <- t.next_pid + 1;
-  let proc = { pid = t.next_pid; name; daemon; blocked = false; done_ = false } in
+  let proc =
+    { pid = t.next_pid; name; daemon; blocked = false; wait_ctx = None;
+      done_ = false }
+  in
   if not daemon then begin
     t.live <- t.live + 1;
     t.regular_spawned <- t.regular_spawned + 1
@@ -129,11 +178,11 @@ let spawn t ?(daemon = false) ~name body =
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
-            | Suspend register ->
+            | Suspend (ctx, register) ->
                 Some
                   (fun (k : (a, _) continuation) ->
                     let resumed = ref false in
-                    mark_blocked t proc;
+                    mark_blocked t proc ctx;
                     register (fun () ->
                         if not !resumed then begin
                           resumed := true;
@@ -146,12 +195,53 @@ let spawn t ?(daemon = false) ~name body =
   in
   push_event t ~time:t.now ~proc:(Some proc) exec
 
-let suspend _t register = Effect.perform (Suspend register)
+let suspend ?ctx _t register = Effect.perform (Suspend (ctx, register))
 
 let sleep t d =
   if d < 0. then invalid_arg "Engine.sleep: negative duration";
   if d = 0. then ()
-  else suspend t (fun resume -> push_event t ~time:(t.now +. d) ~proc:t.current resume)
+  else
+    suspend ~ctx:"sleep" t (fun resume ->
+        push_event t ~time:(t.now +. d) ~proc:t.current resume)
+
+let blocked_report t =
+  t.blocked_procs
+  |> List.map (fun p ->
+         { b_name = p.name; b_pid = p.pid; b_daemon = p.daemon;
+           b_context = p.wait_ctx })
+  |> List.sort (fun a b -> Int.compare a.b_pid b.b_pid)
+
+(* Pop the event to dispatch next.  With a tie chooser installed, all
+   events sharing the minimal timestamp are candidates and the chooser
+   picks among them (in seq order) — the schedule explorer's lever for
+   enumerating same-timestamp interleavings.  Without one, plain
+   (time, seq) order. *)
+let pop_next t =
+  match t.tie_chooser with
+  | None -> Heap.pop t.heap
+  | Some choose -> (
+      match Heap.pop t.heap with
+      | None -> None
+      | Some first ->
+          let ties = ref [ first ] in
+          let continue = ref true in
+          while !continue do
+            match Heap.peek t.heap with
+            | Some ev when ev.time = first.time ->
+                ignore (Heap.pop t.heap);
+                ties := ev :: !ties
+            | Some _ | None -> continue := false
+          done;
+          let ties = List.rev !ties in
+          let n = List.length ties in
+          let pick = if n = 1 then 0 else choose n in
+          if pick < 0 || pick >= n then
+            invalid_arg "Engine: tie chooser returned an out-of-range index";
+          let chosen = List.nth ties pick in
+          List.iteri
+            (fun i ev -> if i <> pick then Heap.push t.heap ev)
+            ties;
+          Some chosen)
 
 let run ?until t =
   let stop_time = Option.value until ~default:infinity in
@@ -159,21 +249,22 @@ let run ?until t =
     if t.regular_spawned > 0 && t.live = 0 then ()
     else
       match Heap.peek t.heap with
-      | None ->
-          if t.live > 0 then begin
-            let names =
-              List.sort compare (List.map (fun p -> p.name) t.blocked_procs)
-            in
-            raise (Deadlock names)
-          end
+      | None -> if t.live > 0 then raise (Deadlock (blocked_report t))
       | Some ev when ev.time > stop_time -> t.now <- stop_time
       | Some _ ->
-          (match Heap.pop t.heap with
+          (match pop_next t with
           | None -> assert false
           | Some ev ->
               t.now <- ev.time;
               t.current <- ev.proc;
               t.dispatched <- t.dispatched + 1;
+              let fp = fnv_int64 t.fp (Int64.bits_of_float ev.time) in
+              let fp =
+                match ev.proc with
+                | Some p -> fnv_string (fnv_int64 fp (Int64.of_int p.pid)) p.name
+                | None -> fnv_byte fp 0
+              in
+              t.fp <- fp;
               ev.thunk ();
               t.current <- None);
           loop ()

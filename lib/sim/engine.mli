@@ -12,12 +12,31 @@
     tasks) that may block forever.  {!run} returns once every regular
     process has finished; if the event queue drains while regular
     processes are still blocked, the simulation is deadlocked and
-    {!Deadlock} is raised with their names. *)
+    {!Deadlock} is raised with a report covering every suspended process —
+    daemons included — and what each was blocked on. *)
 
 type t
 
-exception Deadlock of string list
-(** Names of the regular processes blocked forever. *)
+type blocked_proc = {
+  b_name : string;
+  b_pid : int;
+  b_daemon : bool;
+  b_context : string option;
+      (** What the process was suspended on (the [ctx] its blocking
+          primitive passed to {!suspend}), e.g. ["rpc:ls0.lock"]. *)
+}
+
+exception Deadlock of blocked_proc list
+(** Every process still suspended when the event queue drained, in pid
+    order.  Daemons are listed too: a deadlock involving a server daemon
+    is diagnosable only if the daemon's wait shows up in the report. *)
+
+val blocked_names : ?daemons:bool -> blocked_proc list -> string list
+(** Names of the blocked processes; daemons are excluded unless
+    [daemons] is true. *)
+
+val pp_blocked : Format.formatter -> blocked_proc -> unit
+(** ["<name> (daemon)? blocked on <context>"]. *)
 
 val create : unit -> t
 
@@ -46,14 +65,42 @@ val run : ?until:float -> t -> unit
 val sleep : t -> float -> unit
 (** Block for a virtual duration (>= 0). *)
 
-val suspend : t -> ((unit -> unit) -> unit) -> unit
+val suspend : ?ctx:string -> t -> ((unit -> unit) -> unit) -> unit
 (** [suspend t register] blocks the current process and hands [register] a
     resume function; calling it (once) reschedules the process at the
     virtual time of the call.  This is the primitive the blocking
-    synchronisation structures are built from. *)
+    synchronisation structures are built from.  [ctx] names what the
+    process is waiting for; it is carried into {!Deadlock} reports. *)
 
 val live_processes : t -> int
 (** Regular processes spawned and not yet finished. *)
 
 val events_dispatched : t -> int
 (** Total events processed so far (simulation-cost metric). *)
+
+(** {1 Sanitizer support}
+
+    The protocol sanitizer ({!Check}) uses two engine-level levers: an
+    event-stream fingerprint for determinism double-runs, and a pluggable
+    tie-break chooser for exhaustive same-timestamp schedule
+    exploration. *)
+
+val fingerprint : t -> int64
+(** FNV-1a hash over the dispatched event stream
+    [(time, pid, process name)].  Two runs of the same scenario on fresh
+    engines must produce equal fingerprints; divergence means hidden
+    nondeterminism (iteration over unordered hashtables, physical-equality
+    ordering, …). *)
+
+val set_tie_chooser : t -> (int -> int) -> unit
+(** [set_tie_chooser t f] makes the dispatcher call [f n] whenever [n >= 2]
+    pending events share the minimal timestamp; [f] returns the index (in
+    deterministic seq order) of the event to dispatch.  The default —
+    without a chooser — is index 0.  This is the schedule explorer's
+    lever: every return value in [0, n) is a legal protocol ordering. *)
+
+val clear_tie_chooser : t -> unit
+
+val blocked_report : t -> blocked_proc list
+(** The processes currently suspended, in pid order (what {!Deadlock}
+    would carry if the queue drained now). *)

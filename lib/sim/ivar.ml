@@ -15,11 +15,11 @@ let fill t v =
       t.waiters <- [];
       List.iter (fun resume -> resume ()) ws
 
-let read t =
+let read ?(ctx = "ivar") t =
   match t.value with
   | Some v -> v
   | None ->
-      Engine.suspend t.eng (fun resume -> t.waiters <- resume :: t.waiters);
+      Engine.suspend ~ctx t.eng (fun resume -> t.waiters <- resume :: t.waiters);
       (match t.value with Some v -> v | None -> assert false)
 
 let is_filled t = Option.is_some t.value

@@ -8,8 +8,9 @@ val create : Engine.t -> 'a t
 val fill : 'a t -> 'a -> unit
 (** Raises [Invalid_argument] if already filled. *)
 
-val read : 'a t -> 'a
-(** Returns immediately if filled, otherwise blocks the current process. *)
+val read : ?ctx:string -> 'a t -> 'a
+(** Returns immediately if filled, otherwise blocks the current process.
+    [ctx] names the awaited reply in {!Engine.Deadlock} reports. *)
 
 val is_filled : 'a t -> bool
 val peek : 'a t -> 'a option

@@ -13,12 +13,12 @@ let send t msg =
       resume ()
   | None -> Queue.add msg t.msgs
 
-let recv t =
+let recv ?(ctx = "mailbox") t =
   match Queue.take_opt t.msgs with
   | Some msg -> msg
   | None ->
       let cell = ref None in
-      Engine.suspend t.eng (fun resume -> Queue.add (cell, resume) t.waiters);
+      Engine.suspend ~ctx t.eng (fun resume -> Queue.add (cell, resume) t.waiters);
       (match !cell with
       | Some msg -> msg
       | None -> assert false)

@@ -8,8 +8,9 @@ val create : Engine.t -> 'a t
 val send : 'a t -> 'a -> unit
 (** Never blocks. *)
 
-val recv : 'a t -> 'a
-(** Blocks the current process until a message arrives. *)
+val recv : ?ctx:string -> 'a t -> 'a
+(** Blocks the current process until a message arrives.  [ctx] names the
+    awaited message in {!Engine.Deadlock} reports. *)
 
 val try_recv : 'a t -> 'a option
 val length : 'a t -> int

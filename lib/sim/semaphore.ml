@@ -8,9 +8,9 @@ let create eng n =
   if n < 0 then invalid_arg "Semaphore.create: negative permits";
   { eng; permits = n; waiters = Queue.create () }
 
-let acquire t =
+let acquire ?(ctx = "semaphore") t =
   if t.permits > 0 then t.permits <- t.permits - 1
-  else Engine.suspend t.eng (fun resume -> Queue.add resume t.waiters)
+  else Engine.suspend ~ctx t.eng (fun resume -> Queue.add resume t.waiters)
 
 let release t =
   match Queue.take_opt t.waiters with

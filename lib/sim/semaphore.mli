@@ -7,8 +7,9 @@ type t
 val create : Engine.t -> int -> t
 (** Initial number of permits (>= 0). *)
 
-val acquire : t -> unit
-(** Take a permit, blocking FIFO if none are available. *)
+val acquire : ?ctx:string -> t -> unit
+(** Take a permit, blocking FIFO if none are available.  [ctx] names the
+    contended resource in {!Engine.Deadlock} reports. *)
 
 val release : t -> unit
 

@@ -58,7 +58,7 @@ let print_scenario s =
        (List.map (fun ops -> String.concat "," (List.map print_op ops))
           s.per_client))
 
-let run_scenario s =
+let run_once s =
   let policy = List.nth Seqdlm.Policy.all s.policy_idx in
   (* Datatype locking only differs for multi-range writes; it still must
      pass this single-range workload. *)
@@ -70,6 +70,7 @@ let run_scenario s =
            ~dirty_max:(16 * Units.mib) Config.default)
       ~policy ~n_servers:(min 2 s.stripes) ~n_clients:n ()
   in
+  if Check.Sanitize.enabled () then Check.Sanitize.attach_cluster cl;
   let issued = Hashtbl.create 64 in
   List.iteri
     (fun i ops ->
@@ -90,7 +91,7 @@ let run_scenario s =
                   Hashtbl.replace issued (i, Client.ops c) ())
             ops))
     s.per_client;
-  Cluster.run cl;
+  Check.Sanitize.run_cluster cl;
   Cluster.check_invariants cl;
   (* Barrier passed: everyone reads everything and must agree. *)
   let extent = 40 * 4096 in
@@ -108,9 +109,22 @@ let run_scenario s =
                    then provenance_ok := false
                | None -> ()))
   done;
-  Cluster.run cl;
+  Check.Sanitize.run_cluster cl;
   Cluster.check_invariants cl;
-  Array.for_all (fun x -> x = sums.(0)) sums && !provenance_ok
+  if Check.Sanitize.enabled () then Check.Sanitize.check_cluster cl;
+  (cl, Array.for_all (fun x -> x = sums.(0)) sums && !provenance_ok)
+
+let run_scenario s =
+  if Check.Sanitize.determinism_enabled () then begin
+    let ok = ref true in
+    ignore
+      (Check.Determinism.check ~name:(print_scenario s) (fun () ->
+           let cl, passed = run_once s in
+           ok := !ok && passed;
+           Cluster.engine cl));
+    !ok
+  end
+  else snd (run_once s)
 
 let prop_chaos =
   QCheck.Test.make ~name:"chaos: coherent, live and provenance-clean" ~count:60

@@ -115,6 +115,41 @@ let test_lcm_pw_blocks_everything () =
         [ Lcm.Granted; Lcm.Canceling ])
     all_modes
 
+let test_lcm_golden_table () =
+  (* The complete list of Y cells of Table II, pinned as data: any change
+     to the matrix must edit this list consciously. *)
+  let y_cells =
+    [
+      (Mode.PR, Mode.PR, Lcm.Granted); (Mode.PR, Mode.PR, Lcm.Canceling);
+      (Mode.NBW, Mode.NBW, Lcm.Canceling); (Mode.BW, Mode.NBW, Lcm.Canceling);
+    ]
+  in
+  List.iter
+    (fun req ->
+      List.iter
+        (fun granted ->
+          List.iter
+            (fun state ->
+              Alcotest.(check bool)
+                (Printf.sprintf "golden %s vs %s(%s)" (Mode.to_string req)
+                   (Mode.to_string granted)
+                   (Lcm.state_to_string state))
+                (List.mem (req, granted, state) y_cells)
+                (Lcm.compatible ~req ~granted ~state))
+            [ Lcm.Granted; Lcm.Canceling ])
+        all_modes)
+    all_modes;
+  (* Early grant is asymmetric: a BW request passes over a CANCELING NBW
+     grant, but an NBW request never passes over a CANCELING BW grant —
+     only the non-blocking mode loses its protection when revoked. *)
+  Alcotest.(check bool) "BW over canceling NBW" true
+    (Lcm.compatible ~req:Mode.BW ~granted:Mode.NBW ~state:Lcm.Canceling);
+  Alcotest.(check bool) "NBW over canceling BW" false
+    (Lcm.compatible ~req:Mode.NBW ~granted:Mode.BW ~state:Lcm.Canceling);
+  (* And the sanitizer's independently transcribed table agrees cell by
+     cell with the production matrix. *)
+  Check.Lcm_oracle.cross_check ()
+
 (* ------------------------------------------------------------------ *)
 (* Types helpers                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -781,6 +816,8 @@ let suite =
         Alcotest.test_case "Table II exact" `Quick test_lcm_table2;
         Alcotest.test_case "PW blocks everything" `Quick
           test_lcm_pw_blocks_everything;
+        Alcotest.test_case "golden table vs oracle" `Quick
+          test_lcm_golden_table;
         Alcotest.test_case "ranges_overlap" `Quick test_ranges_overlap;
         Alcotest.test_case "normalize_ranges" `Quick test_normalize_ranges;
       ] );

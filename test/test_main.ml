@@ -11,6 +11,7 @@ let () =
          Test_analytic.suite;
          Test_recovery.suite;
          Test_chaos.suite;
+         Test_check.suite;
          Test_meta.suite;
          Test_experiments.suite;
        ])

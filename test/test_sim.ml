@@ -60,8 +60,40 @@ let test_deadlock_detection () =
   (try
      Engine.run eng;
      Alcotest.fail "expected deadlock"
-   with Engine.Deadlock names ->
-     Alcotest.(check (list string)) "blocked names" [ "stuck" ] names)
+   with Engine.Deadlock blocked ->
+     Alcotest.(check (list string))
+       "blocked names" [ "stuck" ]
+       (Engine.blocked_names blocked);
+     match blocked with
+     | [ b ] ->
+         Alcotest.(check (option string))
+           "wait context" (Some "mailbox") b.Engine.b_context
+     | _ -> Alcotest.fail "expected one blocked process")
+
+let test_deadlock_reports_daemons () =
+  (* A deadlock report must show blocked daemons with their wait context,
+     or a stuck server daemon stays opaque. *)
+  let eng = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create eng in
+  let cond = Condition.create eng in
+  Engine.spawn eng ~daemon:true ~name:"flushd" (fun () ->
+      Condition.wait ~ctx:"flush-work" cond);
+  Engine.spawn eng ~name:"stuck" (fun () -> ignore (Mailbox.recv mb));
+  try
+    Engine.run eng;
+    Alcotest.fail "expected deadlock"
+  with Engine.Deadlock blocked ->
+    Alcotest.(check (list string))
+      "non-daemons only by default" [ "stuck" ]
+      (Engine.blocked_names blocked);
+    Alcotest.(check (list string))
+      "daemons included on demand" [ "flushd"; "stuck" ]
+      (List.sort compare (Engine.blocked_names ~daemons:true blocked));
+    let daemon =
+      List.find (fun b -> b.Engine.b_daemon) blocked
+    in
+    Alcotest.(check (option string))
+      "daemon wait context" (Some "flush-work") daemon.Engine.b_context
 
 let test_daemon_does_not_deadlock () =
   let eng = Engine.create () in
@@ -248,6 +280,8 @@ let suite =
           test_deterministic_tie_break;
         Alcotest.test_case "run until / resume" `Quick test_run_until;
         Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "deadlock report includes daemons" `Quick
+          test_deadlock_reports_daemons;
         Alcotest.test_case "daemons exempt from deadlock" `Quick
           test_daemon_does_not_deadlock;
         Alcotest.test_case "polling daemon stops with work" `Quick

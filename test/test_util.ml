@@ -238,6 +238,92 @@ let prop_em_merge_matches_model =
       done;
       !ok)
 
+let gen_interval bound =
+  QCheck.Gen.(
+    map2
+      (fun lo len -> iv lo (lo + len))
+      (int_bound (bound - 2)) (int_range 1 16))
+
+let print_iv (a : Interval.t) = Interval.to_string a
+
+let prop_interval_split_round_trip =
+  let open QCheck in
+  Test.make ~name:"split_at reassembles the interval" ~count:500
+    (make
+       ~print:(fun (a, cut) -> Printf.sprintf "%s @%d" (print_iv a) cut)
+       Gen.(pair (gen_interval 64) (int_bound 80)))
+    (fun (a, cut) ->
+      let lo_part, hi_part = Interval.split_at a cut in
+      let parts = List.filter_map Fun.id [ lo_part; hi_part ] in
+      List.fold_left (fun acc p -> acc + Interval.length p) 0 parts
+      = Interval.length a
+      && List.for_all (fun p -> Interval.contains a p) parts
+      && (match (lo_part, hi_part) with
+         | Some l, Some h ->
+             l.Interval.hi = cut && h.Interval.lo = cut
+             && not (Interval.overlaps l h)
+         | _ -> true))
+
+let prop_interval_inter_hull_algebra =
+  let open QCheck in
+  Test.make ~name:"inter/hull/overlaps/align agree" ~count:500
+    (make
+       ~print:(fun (a, b) -> print_iv a ^ " " ^ print_iv b)
+       Gen.(pair (gen_interval 64) (gen_interval 64)))
+    (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.contains h a && Interval.contains h b
+      && Interval.overlaps a b = Option.is_some (Interval.inter a b)
+      && (match Interval.inter a b with
+         | Some i -> Interval.contains a i && Interval.contains b i
+         | None -> true)
+      && Interval.contains (Interval.align ~page:8 a) a)
+
+(* The pairwise-disjointness invariant under random inserts is what makes
+   every extent store trustworthy; check_invariants asserts sortedness
+   and disjointness of the underlying list. *)
+let prop_em_disjoint_after_inserts =
+  let open QCheck in
+  Test.make ~name:"entries stay disjoint under random set" ~count:300
+    (make
+       ~print:Print.(list print_iv)
+       Gen.(list_size (int_range 1 40) (gen_interval 64)))
+    (fun ivs ->
+      let m =
+        List.fold_left
+          (fun (m, v) a -> (Extent_map.set m a v, v + 1))
+          (Extent_map.empty, 0) ivs
+        |> fst
+      in
+      Extent_map.check_invariants m;
+      List.for_all
+        (fun ((x, _), rest) ->
+          List.for_all (fun (y, _) -> not (Interval.overlaps x y)) rest)
+        (let rec tails = function
+           | [] -> []
+           | x :: r -> (x, r) :: tails r
+         in
+         tails (Extent_map.to_list m)))
+
+let prop_em_coalesce_preserves =
+  let open QCheck in
+  Test.make ~name:"coalesce preserves per-byte values" ~count:300
+    (make
+       ~print:Print.(list (pair print_iv int))
+       Gen.(list_size (int_range 1 30) (pair (gen_interval 64) (int_bound 3))))
+    (fun entries ->
+      let m =
+        List.fold_left (fun m (a, v) -> Extent_map.set m a v) Extent_map.empty
+          entries
+      in
+      let c = Extent_map.coalesce ~eq:Int.equal m in
+      Extent_map.check_invariants c;
+      let ok = ref true in
+      for i = 0 to 80 do
+        if Extent_map.find m i <> Extent_map.find c i then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Content                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -362,6 +448,8 @@ let suite =
         Alcotest.test_case "page alignment" `Quick test_interval_align;
         Alcotest.test_case "split_at" `Quick test_interval_split;
         Alcotest.test_case "invalid args" `Quick test_interval_invalid;
+        q prop_interval_split_round_trip;
+        q prop_interval_inter_hull_algebra;
       ] );
     ( "util.extent_map",
       [
@@ -380,6 +468,8 @@ let suite =
         Alcotest.test_case "filter" `Quick test_em_filter;
         q prop_em_matches_model;
         q prop_em_merge_matches_model;
+        q prop_em_disjoint_after_inserts;
+        q prop_em_coalesce_preserves;
       ] );
     ( "util.content",
       [
