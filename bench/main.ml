@@ -152,6 +152,8 @@ let micro_tests =
       bench_mini_cluster;
     ]
 
+let micro_schema = "ccpfs.micro/1"
+
 let run_micro () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
   let raw =
@@ -162,16 +164,50 @@ let run_micro () =
                    ~predictors:[| Measure.run |])
       Instance.monotonic_clock raw
   in
+  (* Hashtbl.iter order varies run to run; sort by test name so the
+     table (and the JSON rows) are stable and diffable. *)
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Some est
+          | _ -> None
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   print_endline "\n== microbenchmarks (ns/run) ==";
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "%-55s %12.0f ns\n" name est
-      | _ -> Printf.printf "%-55s (no estimate)\n" name)
-    results
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-55s %12.0f ns\n" name est
+      | None -> Printf.printf "%-55s (no estimate)\n" name)
+    rows;
+  Obs.Results.clear ();
+  List.iter
+    (fun (name, est) ->
+      Obs.Results.add
+        (Obs.Json.Obj
+           [
+             ("name", Obs.Json.Str name);
+             ( "ns_per_run",
+               match est with
+               | Some e -> Obs.Json.Float e
+               | None -> Obs.Json.Null );
+           ]))
+    rows;
+  let n = Obs.Results.write ~schema:micro_schema ~path:"BENCH_micro.json" in
+  Printf.printf "\nwrote BENCH_micro.json (%d rows)\n" n
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if what = "all" || what = "experiments" then
+  if what = "all" || what = "experiments" then begin
     Experiments.Registry.run_all ();
+    let n =
+      Experiments.Registry.write_results ~path:"BENCH_experiments.json"
+    in
+    Printf.printf "\nwrote BENCH_experiments.json (%d rows)\n" n
+  end;
   if what = "all" || what = "micro" then run_micro ()

@@ -25,6 +25,31 @@ let check_arg =
 
 let apply_check check = if check then Check.Sanitize.enable_all ()
 
+let trace_arg =
+  let doc =
+    "Also record every simulated run as Chrome trace_event JSON written \
+     to $(docv) — RPC and I/O spans, lock lifecycle instants, per-waiter \
+     lock-wait attribution.  Open the file in Perfetto \
+     (https://ui.perfetto.dev) or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let apply_trace trace = Option.iter Obs.Hub.request_trace trace
+
+(* Post-run flush of everything the observability layer collected:
+   the combined Chrome trace (when [--trace] was given) and the
+   machine-readable result rows the harness accumulated. *)
+let finish_obs () =
+  (match Obs.Hub.flush_trace () with
+  | Some (path, n) -> Printf.printf "\ntrace: wrote %d events to %s\n" n path
+  | None -> ());
+  if Obs.Results.count () > 0 then begin
+    let n =
+      Experiments.Registry.write_results ~path:"BENCH_experiments.json"
+    in
+    Printf.printf "results: wrote %d rows to BENCH_experiments.json\n" n
+  end
+
 let list_cmd =
   let run () =
     List.iter
@@ -40,11 +65,13 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let run id scale check =
+  let run id scale check trace =
     apply_check check;
+    apply_trace trace;
     match Experiments.Registry.find id with
     | Some e ->
         Experiments.Registry.run_one ?scale e;
+        finish_obs ();
         `Ok ()
     | None ->
         `Error
@@ -52,7 +79,7 @@ let run_cmd =
             Printf.sprintf "unknown experiment %S; try `ccpfs_run list`" id )
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment")
-    Term.(ret (const run $ id_arg $ scale_arg $ check_arg))
+    Term.(ret (const run $ id_arg $ scale_arg $ check_arg $ trace_arg))
 
 (* A narrated protocol timeline: three clients contend for one stripe
    under a chosen policy, and every lock-server step is printed with its
@@ -63,7 +90,8 @@ let trace_cmd =
     let doc = "DLM variant: seqdlm, basic, lustre or datatype." in
     Arg.(value & opt string "seqdlm" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
   in
-  let run policy_name =
+  let run policy_name trace =
+    apply_trace trace;
     let policy =
       match policy_name with
       | "seqdlm" -> Some Seqdlm.Policy.seqdlm
@@ -76,6 +104,11 @@ let trace_cmd =
     | None -> `Error (false, "unknown policy " ^ policy_name)
     | Some policy ->
         let cl = Ccpfs.Cluster.create ~policy ~n_servers:1 ~n_clients:3 () in
+        (match Obs.Hub.new_sink ~label:("trace:" ^ policy.Seqdlm.Policy.name) ()
+         with
+        | Some sink ->
+            Dessim.Engine.set_trace_sink (Ccpfs.Cluster.engine cl) sink
+        | None -> ());
         Seqdlm.Lock_server.set_tracer (Ccpfs.Cluster.lock_server cl 0)
           (fun now ev ->
             Format.printf "%10.1fus  %a@." (now *. 1e6)
@@ -92,20 +125,23 @@ let trace_cmd =
               if i = 0 then ignore (Ccpfs.Client.read c f ~off:0 ~len:65536))
         done;
         Ccpfs.Cluster.run cl;
+        finish_obs ();
         `Ok ()
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Print a narrated lock-protocol timeline for a tiny scenario")
-    Term.(ret (const run $ policy_arg))
+    Term.(ret (const run $ policy_arg $ trace_arg))
 
 let all_cmd =
-  let run scale check =
+  let run scale check trace =
     apply_check check;
-    Experiments.Registry.run_all ?scale ()
+    apply_trace trace;
+    Experiments.Registry.run_all ?scale ();
+    finish_obs ()
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment")
-    Term.(const run $ scale_arg $ check_arg)
+    Term.(const run $ scale_arg $ check_arg $ trace_arg)
 
 (* Model-checking lite: replay a three-client write-contention scenario
    under every same-timestamp tie-break ordering the event heap allows,

@@ -70,12 +70,48 @@ type t = {
   mutable ctl_ep : (Types.ctl_msg, unit) Rpc.endpoint option;
   mutable tracer : (float -> trace_event -> unit) option;
   mutable validator : (t -> unit) option;
+  q_depth : Obs.Metrics.histogram; (* queue length at each enqueue *)
 }
 
+(* Lock-lifecycle instants on the trace sink (enqueue -> grant -> revoke
+   -> ack -> release), attributed to the courier process that triggered
+   the transition.  Wait-time attribution is separate: see the complete
+   events emitted by [grant_waiter]. *)
+let obs_emit t sink ev =
+  let ts = Engine.now t.eng in
+  let tid = Engine.current_pid t.eng in
+  let inst name args = Obs.Trace.instant sink ~ts ~tid ~cat:"lock" ~args name in
+  let open Obs.Json in
+  match ev with
+  | T_request (r : Types.request) ->
+      inst "lock.enqueue"
+        [ ("rid", Int r.rid); ("client", Int r.client);
+          ("mode", Str (Mode.to_string r.mode)) ]
+  | T_grant (g, early) ->
+      inst "lock.grant"
+        [ ("rid", Int g.Types.rid); ("lock_id", Int g.Types.lock_id);
+          ("client", Int g.Types.client);
+          ("mode", Str (Mode.to_string g.Types.mode)); ("sn", Int g.Types.sn);
+          ("early", Bool (early = `Early)) ]
+  | T_revoke { t_rid; t_lock_id; t_client } ->
+      inst "lock.revoke"
+        [ ("rid", Int t_rid); ("lock_id", Int t_lock_id);
+          ("client", Int t_client) ]
+  | T_ack { t_rid; t_lock_id } ->
+      inst "lock.ack" [ ("rid", Int t_rid); ("lock_id", Int t_lock_id) ]
+  | T_release { t_rid; t_lock_id } ->
+      inst "lock.release" [ ("rid", Int t_rid); ("lock_id", Int t_lock_id) ]
+  | T_downgrade { t_rid; t_lock_id; t_mode } ->
+      inst "lock.downgrade"
+        [ ("rid", Int t_rid); ("lock_id", Int t_lock_id);
+          ("mode", Str (Mode.to_string t_mode)) ]
+
 let trace t ev =
-  match t.tracer with
+  (match t.tracer with
   | Some f -> f (Engine.now t.eng) ev
-  | None -> ()
+  | None -> ());
+  let sink = Engine.trace_sink t.eng in
+  if Obs.Trace.enabled sink then obs_emit t sink ev
 
 (* The sanitizer's post-transition hook: runs after every externally
    triggered state change (request, control message, sync), once the
@@ -203,6 +239,27 @@ let grant_waiter t rs (w : waiter) ~own ~early =
       s.revocation_wait <- s.revocation_wait +. (ta -. w.enq_time);
       s.release_wait <- s.release_wait +. (now -. ta)
   | None -> s.revocation_wait <- s.revocation_wait +. (now -. w.enq_time));
+  (* Fig. 17 wait attribution as trace spans, mirroring the stats update
+     above term for term: ① [lock.wait.revocation] runs from enqueue
+     until the conflict set is all-CANCELING, ② [lock.wait.release] from
+     there to the grant — so summing span durations in a trace file
+     reproduces the printed breakdown exactly. *)
+  let sink = Engine.trace_sink t.eng in
+  if Obs.Trace.enabled sink then begin
+    let wtid = 900_000 + w.req.client in
+    let args =
+      [ ("rid", Obs.Json.Int rs.rid); ("client", Obs.Json.Int w.req.client) ]
+    in
+    match w.acks_time with
+    | Some ta ->
+        Obs.Trace.complete sink ~ts:w.enq_time ~dur:(ta -. w.enq_time)
+          ~tid:wtid ~cat:"lock" ~args "lock.wait.revocation";
+        Obs.Trace.complete sink ~ts:ta ~dur:(now -. ta) ~tid:wtid ~cat:"lock"
+          ~args "lock.wait.release"
+    | None ->
+        Obs.Trace.complete sink ~ts:w.enq_time ~dur:(now -. w.enq_time)
+          ~tid:wtid ~cat:"lock" ~args "lock.wait.revocation"
+  end;
   let g =
     {
       Types.lock_id = lock.id;
@@ -324,6 +381,7 @@ let handle_request t (req : Types.request) ~reply =
   rs.waiting <- rs.waiting @ [ w ];
   let q = List.length rs.waiting in
   if q > t.stats.max_queue then t.stats.max_queue <- q;
+  Obs.Metrics.observe t.q_depth (float_of_int q);
   process t rs;
   validate t
 
@@ -369,6 +427,9 @@ let create eng params ~node ~name ~policy =
       ctl_ep = None;
       tracer = None;
       validator = None;
+      q_depth =
+        Obs.Metrics.histogram (Engine.metrics eng)
+          (Printf.sprintf "dlm.%s.queue_depth" name);
     }
   in
   t.lock_ep <-

@@ -39,11 +39,57 @@ let collect cl ~pio ~f =
 
 type spawn = int -> string -> (Client.t -> unit) -> unit
 
+(* One machine-readable row per measured run (BENCH_experiments.json);
+   the experiment id / scale were stamped on Obs.Hub by the driver. *)
+let result_row cl ~run_id ~servers ~clients r =
+  let s : Seqdlm.Lock_server.stats = r.lock_stats in
+  let open Obs.Json in
+  Obj
+    [
+      ("experiment", Str (Obs.Hub.experiment ()));
+      ("scale", Float (Obs.Hub.scale ()));
+      ("run", Int run_id);
+      ("servers", Int servers);
+      ("clients", Int clients);
+      ("pio_s", Float r.pio);
+      ("f_s", Float r.f);
+      ("bytes", Int r.bytes);
+      ("bandwidth_Bps", Float r.bandwidth);
+      ("locking_s", Float r.locking);
+      ("cache_io_s", Float r.cache_io);
+      ("ops", Int r.ops);
+      ( "lock_stats",
+        Obj
+          [
+            ("grants", Int s.grants);
+            ("early_grants", Int s.early_grants);
+            ("early_revocations", Int s.early_revocations);
+            ("revokes_sent", Int s.revokes_sent);
+            ("upgrades", Int s.upgrades);
+            ("downgrades", Int s.downgrades);
+            ("releases", Int s.releases);
+            ("expansions", Int s.expansions);
+            ("revocation_wait_s", Float s.revocation_wait);
+            ("release_wait_s", Float s.release_wait);
+            ("max_queue", Int s.max_queue);
+          ] );
+      ("metrics", Obs.Metrics.to_json (Dessim.Engine.metrics (Cluster.engine cl)));
+    ]
+
 let run_custom ?params ?config ?policy ~servers ~clients setup k =
+  let last_run_id = ref 0 in
   let one_pass () =
     let cl = Cluster.create ?params ?config ?policy ~n_servers:servers
         ~n_clients:clients ()
     in
+    let eng = Cluster.engine cl in
+    (* The sink label uses the run counter before it advances, so the
+       viewer's process name and the result row's "run" field agree. *)
+    (match Obs.Hub.new_sink () with
+    | Some sink -> Dessim.Engine.set_trace_sink eng sink
+    | None -> ());
+    last_run_id := Obs.Hub.next_run_id ();
+    Obs.Metrics.enable (Dessim.Engine.metrics eng);
     if Check.Sanitize.enabled () then Check.Sanitize.attach_cluster cl;
     (* PIO ends when the last application process finishes; lock-cancel
        flushing still running then is background work the application
@@ -77,7 +123,11 @@ let run_custom ?params ?config ?policy ~servers ~clients setup k =
     end
     else one_pass ()
   in
-  k cl (collect cl ~pio ~f)
+  let r = collect cl ~pio ~f in
+  (* In determinism mode one_pass ran twice but only the kept pass is a
+     measurement: exactly one row per logical run. *)
+  Obs.Results.add (result_row cl ~run_id:!last_run_id ~servers ~clients r);
+  k cl r
 
 let run_streams ?params ?config ?policy ?mode ?lock_whole_range
     ?(stripe_size = Units.mib) ~servers ~stripes ~streams () =

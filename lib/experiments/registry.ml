@@ -107,6 +107,11 @@ let run_one ?scale e =
   let scale = Option.value scale ~default:e.default_scale in
   Printf.printf "\n### %s [%s, scale=%g]\n" e.title e.id scale;
   Printf.printf "### paper: %s\n\n" e.paper_claim;
+  Obs.Hub.set_run_info ~experiment:e.id ~scale;
   e.run ~scale
 
 let run_all ?scale () = List.iter (fun e -> run_one ?scale e) all
+
+let results_schema = "ccpfs.experiments/1"
+
+let write_results ~path = Obs.Results.write ~schema:results_schema ~path

@@ -15,11 +15,14 @@ type t = {
 let create eng (p : Params.t) ~name ?(with_disk = false) () =
   {
     name;
-    rx = Resource.create eng ~rate:p.b_net;
-    ctl_rx = Resource.create eng ~rate:p.b_net;
-    ops = Resource.create eng ~rate:p.server_ops;
-    mem = Resource.create eng ~rate:p.b_mem;
-    disk = (if with_disk then Some (Resource.create eng ~rate:p.b_disk) else None);
+    rx = Resource.create eng ~metric:"net.rx" ~rate:p.b_net ();
+    ctl_rx = Resource.create eng ~metric:"net.ctl" ~rate:p.b_net ();
+    ops = Resource.create eng ~metric:"srv.ops" ~rate:p.server_ops ();
+    mem = Resource.create eng ~metric:"mem" ~rate:p.b_mem ();
+    disk =
+      (if with_disk then
+         Some (Resource.create eng ~metric:"disk" ~rate:p.b_disk ())
+       else None);
     disk_bytes = 0;
     rpcs = 0;
     bytes_in = 0;

@@ -7,10 +7,14 @@ type ('req, 'resp) endpoint = {
   name : string;
   handler : 'req -> reply:('resp -> unit) -> unit;
   mutable count : int;
+  latency : Obs.Metrics.histogram; (* caller-observed call round trip *)
 }
 
 let endpoint eng params ~node ~name ~handler =
-  { eng; params; node; name; handler; count = 0 }
+  let latency =
+    Obs.Metrics.histogram (Engine.metrics eng) ("rpc.latency." ^ name)
+  in
+  { eng; params; node; name; handler; count = 0; latency }
 
 (* Request journey, run in the context of some process: propagation, then
    the server's NIC pipe, then its RPC processor. *)
@@ -25,6 +29,28 @@ let inbound t bytes =
   Resource.consume (Node.ops t.node) 1.;
   Node.incr_rpc t.node;
   t.count <- t.count + 1
+
+(* A request/notification span covering transport + the handler's
+   synchronous part, on the courier process's own tid.  The deferred tail
+   of a handler (a lock server parking [reply] until conflicts resolve)
+   is deliberately outside: that wait shows up as the lock-lifecycle
+   events instead. *)
+let serve_span t kind bytes f =
+  let sink = Engine.trace_sink t.eng in
+  if not (Obs.Trace.enabled sink) then f ()
+  else begin
+    let tid = Engine.current_pid t.eng in
+    Obs.Trace.begin_span sink ~ts:(Engine.now t.eng) ~tid ~cat:"rpc"
+      ~args:[ ("bytes", Obs.Json.Int bytes) ]
+      (kind ^ ":" ^ t.name);
+    match f () with
+    | v ->
+        Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid (kind ^ ":" ^ t.name);
+        v
+    | exception e ->
+        Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid (kind ^ ":" ^ t.name);
+        raise e
+  end
 
 (* Reply journey: a courier carries it back to [src] and fills the ivar. *)
 let reply_courier t ~src ~resp_bytes ivar resp =
@@ -43,20 +69,42 @@ let call_async t ~src ?req_bytes ?resp_bytes req =
   let ivar = Ivar.create t.eng in
   Engine.spawn t.eng ~name:(t.name ^ ".req")
     (fun () ->
-      inbound t req_bytes;
-      t.handler req ~reply:(fun resp ->
-          reply_courier t ~src ~resp_bytes ivar resp));
+      serve_span t "serve" req_bytes (fun () ->
+          inbound t req_bytes;
+          t.handler req ~reply:(fun resp ->
+              reply_courier t ~src ~resp_bytes ivar resp)));
   ivar
 
 let call t ~src ?req_bytes ?resp_bytes req =
-  Ivar.read ~ctx:("rpc:" ^ t.name) (call_async t ~src ?req_bytes ?resp_bytes req)
+  let sink = Engine.trace_sink t.eng in
+  let t0 = Engine.now t.eng in
+  let traced = Obs.Trace.enabled sink in
+  let tid = if traced then Engine.current_pid t.eng else 0 in
+  if traced then
+    Obs.Trace.begin_span sink ~ts:t0 ~tid ~cat:"rpc" ("call:" ^ t.name);
+  let finish () =
+    let now = Engine.now t.eng in
+    Obs.Metrics.observe t.latency (now -. t0);
+    if traced then Obs.Trace.end_span sink ~ts:now ~tid ("call:" ^ t.name)
+  in
+  match
+    Ivar.read ~ctx:("rpc:" ^ t.name) (call_async t ~src ?req_bytes ?resp_bytes req)
+  with
+  | resp ->
+      finish ();
+      resp
+  | exception e ->
+      finish ();
+      raise e
 
 let notify t ~src ?req_bytes req =
   let req_bytes = Option.value req_bytes ~default:t.params.Params.ctl_msg_bytes in
   ignore src;
   Engine.spawn t.eng ~name:(t.name ^ ".notify")
     (fun () ->
-      inbound t req_bytes;
-      t.handler req ~reply:(fun () -> ()))
+      serve_span t "notify" req_bytes (fun () ->
+          inbound t req_bytes;
+          t.handler req ~reply:(fun () -> ())))
 
 let calls t = t.count
+let name t = t.name

@@ -45,3 +45,6 @@ val notify :
 
 val calls : ('req, 'resp) endpoint -> int
 (** Requests that reached the handler so far. *)
+
+val name : ('req, 'resp) endpoint -> string
+(** The service name the endpoint registered under (diagnostics). *)

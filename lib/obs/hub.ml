@@ -1,0 +1,59 @@
+let trace_path : string option ref = ref None
+let sinks : Trace.sink list ref = ref [] (* newest first *)
+let cur_experiment = ref ""
+let cur_scale = ref 1.0
+let run_counter = ref 0
+let pid_counter = ref 0
+
+let request_trace path = trace_path := Some path
+let trace_requested () = Option.is_some !trace_path
+
+let set_run_info ~experiment ~scale =
+  cur_experiment := experiment;
+  cur_scale := scale;
+  run_counter := 0
+
+let experiment () = !cur_experiment
+let scale () = !cur_scale
+
+let next_run_id () =
+  let i = !run_counter in
+  run_counter := i + 1;
+  i
+
+let new_sink ?label () =
+  if not (trace_requested ()) then None
+  else begin
+    incr pid_counter;
+    let label =
+      match label with
+      | Some l -> l
+      | None ->
+          let exp = if !cur_experiment = "" then "run" else !cur_experiment in
+          Printf.sprintf "%s#%d" exp !run_counter
+    in
+    let s = Trace.make ~pid:!pid_counter ~label () in
+    sinks := s :: !sinks;
+    Some s
+  end
+
+let flush_trace () =
+  match !trace_path with
+  | None -> None
+  | Some path ->
+      let ss = List.rev !sinks in
+      sinks := [];
+      let n = List.fold_left (fun acc s -> acc + Trace.num_events s) 0 ss in
+      if n = 0 then None
+      else begin
+        Json.to_file path (Trace.to_json ss);
+        Some (path, n)
+      end
+
+let reset () =
+  trace_path := None;
+  sinks := [];
+  cur_experiment := "";
+  cur_scale := 1.0;
+  run_counter := 0;
+  pid_counter := 0

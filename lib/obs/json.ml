@@ -1,0 +1,291 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Serializer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else if Float.is_finite f then
+    Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  else Buffer.add_string buf "null"
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> float_to buf f
+  | Str s -> escape_to buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer buf v;
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else error (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else error ("expected " ^ word)
+  in
+  let utf8_of_code buf u =
+    (* Basic-plane codepoint to UTF-8 (surrogate pairs come pre-combined). *)
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+    end
+    else if u < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then error "truncated escape";
+           let c = s.[!pos] in
+           advance ();
+           match c with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+               let u = hex4 () in
+               let u =
+                 if u >= 0xd800 && u <= 0xdbff && !pos + 6 <= n
+                    && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                 then begin
+                   pos := !pos + 2;
+                   let lo = hex4 () in
+                   0x10000 + (((u - 0xd800) lsl 10) lor (lo - 0xdc00))
+                 end
+                 else u
+               in
+               utf8_of_code buf u
+           | c -> error (Printf.sprintf "bad escape \\%c" c));
+          go ()
+      | c when Char.code c < 0x20 -> error "control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' -> true
+         | '.' | 'e' | 'E' | '+' | '-' ->
+             is_float := true;
+             true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error ("bad number " ^ text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> error ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let kvs = ref [] in
+          let rec fields () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            kvs := (k, v) :: !kvs;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ()
+            | Some '}' -> advance ()
+            | _ -> error "expected ',' or '}'"
+          in
+          fields ();
+          Obj (List.rev !kvs)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let xs = ref [] in
+          let rec elems () =
+            let v = parse_value () in
+            xs := v :: !xs;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems ()
+            | Some ']' -> advance ()
+            | _ -> error "expected ',' or ']'"
+          in
+          elems ();
+          List (List.rev !xs)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected %C" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+let parse_exn s =
+  try parse_exn s
+  with Parse_error (pos, msg) ->
+    failwith (Printf.sprintf "Json.parse: at byte %d: %s" pos msg)
+
+let parse s =
+  match parse_exn s with v -> Ok v | exception Failure msg -> Error msg
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let get_list = function List xs -> xs | _ -> []
+let get_string = function Str s -> Some s | _ -> None
+let get_int = function Int i -> Some i | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None

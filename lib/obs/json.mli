@@ -1,0 +1,47 @@
+(** Minimal JSON: a value type, a compact serializer and a strict parser.
+
+    Zero dependencies by design — this is what lets the observability
+    layer sit below every other library of the repository (the simulation
+    engine included) without pulling a JSON package into the build.  The
+    parser exists so tests and CI can validate the writer's output
+    (traces, [BENCH_*.json]) without external tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact (no whitespace) serialization.  Non-finite floats become
+    [null]: the Chrome trace viewer rejects [inf]/[nan] literals. *)
+
+val to_string : t -> string
+
+val to_file : string -> t -> unit
+(** Write [to_string] plus a trailing newline to a fresh file. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error).  Numbers with a fraction or exponent come back as [Float],
+    others as [Int].  Error strings carry the byte offset. *)
+
+val parse_exn : string -> t
+(** @raise Failure on parse error. *)
+
+(** {1 Accessors} (for tests and validators) *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val get_list : t -> t list
+(** [List] payload; [] on anything else. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** Accepts [Int] too. *)

@@ -1,0 +1,53 @@
+(** Counters, gauges and log-bucketed histograms over simulated time.
+
+    One registry per simulation engine.  Handles are resolved by name
+    once, at instrumentation-site setup (endpoint creation, node
+    creation, …); the per-observation cost is a flag check plus an array
+    or field update, and nothing at all while the registry is disabled —
+    registries start disabled and are switched on per run by the
+    harness.  Two lookups of the same name return the same instrument. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, disabled registry. *)
+
+val enable : t -> unit
+val is_enabled : t -> bool
+
+type counter
+
+val counter : t -> string -> counter
+val add : counter -> int -> unit
+val incr : counter -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+(** Records the latest value and tracks the maximum seen. *)
+
+val gauge_value : gauge -> float
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Values land in power-of-two buckets: bucket upper bounds are
+    [2^(i-64)], so the span covers ~5.4e-20 .. 9.2e18 with one bucket per
+    doubling — ns-to-hours latencies and byte-to-TiB sizes both fit.
+    Non-positive values land in the lowest bucket. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val hist_buckets : histogram -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending. *)
+
+val to_json : t -> Json.t
+(** Snapshot: [{"counters": {...}, "gauges": {...}, "histograms": {...}}]
+    with every instrument sorted by name.  Histograms carry count, sum,
+    min, max and the non-empty buckets. *)

@@ -48,7 +48,10 @@ let open_file t ?(create = false) ?(layout = Layout.v ~stripe_count:1 ()) path =
   with
   | Meta_server.Attrs a -> { f_fid = a.fid; f_layout = a.layout; f_path = path }
   | Meta_server.Enoent -> raise Not_found
-  | Meta_server.Ok -> assert false
+  | Meta_server.Ok as r ->
+      Protocol_error.fail ~endpoint:(Rpc.name t.meta)
+        ~request:(Printf.sprintf "Open %S" path)
+        ~got:(Meta_server.resp_to_string r)
 
 let fid f = f.f_fid
 let layout f = f.f_layout
@@ -62,6 +65,23 @@ let timed t f =
 let overhead t =
   if t.params.Params.client_io_overhead > 0. then
     Engine.sleep t.eng t.params.Params.client_io_overhead
+
+(* One application-level IO span on the calling process's tid.  The end
+   event is emitted on the exception path too, so traces always pair up. *)
+let io_span t name args f =
+  let sink = Engine.trace_sink t.eng in
+  if not (Obs.Trace.enabled sink) then f ()
+  else begin
+    let tid = Engine.current_pid t.eng in
+    Obs.Trace.begin_span sink ~ts:(Engine.now t.eng) ~tid ~cat:"io" ~args name;
+    match f () with
+    | v ->
+        Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid name;
+        v
+    | exception e ->
+        Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid name;
+        raise e
+  end
 
 (* Group object-space ranges per stripe and lock the stripes in rid
    order (the fixed order is what makes multi-stripe BW acquisition
@@ -111,7 +131,11 @@ let do_write ?mode ?(lock_whole_range = false) t file ~data_by_stripe =
   let sn_of rid =
     match List.assoc_opt rid held with
     | Some h -> Lock_client.sn h
-    | None -> assert false
+    | None ->
+        Protocol_error.fail
+          ~endpoint:(Printf.sprintf "client%d" t.id)
+          ~request:(Printf.sprintf "write op %d: SN for stripe rid %d" op rid)
+          ~got:"no lock handle held for that stripe"
   in
   List.iter
     (fun (stripe, ranges) ->
@@ -128,9 +152,14 @@ let do_write ?mode ?(lock_whole_range = false) t file ~data_by_stripe =
 let write ?mode ?lock_whole_range t file ~off ~len =
   if len <= 0 then invalid_arg "Client.write: len must be positive";
   timed t (fun () ->
-      let chunks = Layout.chunks file.f_layout (Interval.of_len ~lo:off ~len) in
-      do_write ?mode ?lock_whole_range t file
-        ~data_by_stripe:(group_by_stripe chunks))
+      io_span t "client.write"
+        [ ("off", Obs.Json.Int off); ("len", Obs.Json.Int len) ]
+        (fun () ->
+          let chunks =
+            Layout.chunks file.f_layout (Interval.of_len ~lo:off ~len)
+          in
+          do_write ?mode ?lock_whole_range t file
+            ~data_by_stripe:(group_by_stripe chunks)))
 
 let write_multi ?mode t file ~ranges =
   if ranges = [] then invalid_arg "Client.write_multi: no ranges";
@@ -155,7 +184,13 @@ let fetch_stripe t file ~stripe ~range =
             (Data_server.Read { rid; range })
         with
         | Data_server.Data segs -> segs
-        | Data_server.Done -> assert false
+        | Data_server.Done as r ->
+            Protocol_error.fail
+              ~endpoint:(Rpc.name (t.io_route rid))
+              ~request:
+                (Printf.sprintf "Read rid=%d [%d,%d)" rid range.Interval.lo
+                   range.Interval.hi)
+              ~got:(Data_server.io_resp_to_string r)
       in
       Client_cache.store_clean t.cache ~rid segs;
       segs
@@ -183,6 +218,9 @@ let fetch_stripe t file ~stripe ~range =
 let read t file ~off ~len =
   if len <= 0 then invalid_arg "Client.read: len must be positive";
   timed t (fun () ->
+    io_span t "client.read"
+      [ ("off", Obs.Json.Int off); ("len", Obs.Json.Int len) ]
+      (fun () ->
       t.op_counter <- t.op_counter + 1;
       overhead t;
       let chunks = Layout.chunks file.f_layout (Interval.of_len ~lo:off ~len) in
@@ -207,7 +245,7 @@ let read t file ~off ~len =
           (List.sort (fun (a, _) (b, _) -> Int.compare a b) by_stripe)
       in
       List.iter (fun (_, h) -> Lock_client.release t.locks h) held;
-      segs)
+      segs))
 
 let read_checksum t file ~off ~len =
   (* Canonicalise first: fragment boundaries depend on cache state, so
@@ -250,11 +288,18 @@ let whole_file_locks t file =
 let stat_size t file =
   match Rpc.call t.meta ~src:t.node (Meta_server.Stat { fid = file.f_fid }) with
   | Meta_server.Attrs a -> a.size
-  | Meta_server.Ok | Meta_server.Enoent -> raise Not_found
+  | Meta_server.Enoent -> raise Not_found
+  | Meta_server.Ok as r ->
+      Protocol_error.fail ~endpoint:(Rpc.name t.meta)
+        ~request:(Printf.sprintf "Stat fid=%d" file.f_fid)
+        ~got:(Meta_server.resp_to_string r)
 
 let append t file ~len =
   if len <= 0 then invalid_arg "Client.append: len must be positive";
   timed t (fun () ->
+    io_span t "client.append"
+      [ ("len", Obs.Json.Int len) ]
+      (fun () ->
       let held = whole_file_locks t file in
       let size = stat_size t file in
       let chunks = Layout.chunks file.f_layout (Interval.of_len ~lo:size ~len) in
@@ -267,7 +312,12 @@ let append t file ~len =
           let sn =
             match List.assoc_opt rid held with
             | Some h -> Lock_client.sn h
-            | None -> assert false
+            | None ->
+                Protocol_error.fail
+                  ~endpoint:(Printf.sprintf "client%d" t.id)
+                  ~request:
+                    (Printf.sprintf "append op %d: SN for stripe rid %d" op rid)
+                  ~got:"no whole-file lock handle held for that stripe"
           in
           Client_cache.write t.cache ~rid ~range ~sn ~op;
           t.w_bytes <- t.w_bytes + Interval.length range)
@@ -277,9 +327,14 @@ let append t file ~len =
            (Meta_server.Update_size { fid = file.f_fid; size = size + len })
        with
       | Meta_server.Ok -> ()
-      | Meta_server.Attrs _ | Meta_server.Enoent -> assert false);
+      | (Meta_server.Attrs _ | Meta_server.Enoent) as r ->
+          Protocol_error.fail ~endpoint:(Rpc.name t.meta)
+            ~request:
+              (Printf.sprintf "Update_size fid=%d size=%d" file.f_fid
+                 (size + len))
+            ~got:(Meta_server.resp_to_string r));
       List.iter (fun (_, h) -> Lock_client.release t.locks h) held;
-      size)
+      size))
 
 (* Object-space boundary of a stripe for a file truncated to [size]. *)
 let stripe_keep_below layout ~stripe ~size =
@@ -293,13 +348,19 @@ let stripe_keep_below layout ~stripe ~size =
 let truncate t file ~size =
   if size < 0 then invalid_arg "Client.truncate: negative size";
   timed t (fun () ->
+    io_span t "client.truncate"
+      [ ("size", Obs.Json.Int size) ]
+      (fun () ->
       let held = whole_file_locks t file in
       (match
          Rpc.call t.meta ~src:t.node
            (Meta_server.Set_size { fid = file.f_fid; size })
        with
       | Meta_server.Ok -> ()
-      | Meta_server.Attrs _ | Meta_server.Enoent -> assert false);
+      | (Meta_server.Attrs _ | Meta_server.Enoent) as r ->
+          Protocol_error.fail ~endpoint:(Rpc.name t.meta)
+            ~request:(Printf.sprintf "Set_size fid=%d size=%d" file.f_fid size)
+            ~got:(Meta_server.resp_to_string r));
       for stripe = 0 to file.f_layout.Layout.stripe_count - 1 do
         let rid = Layout.rid ~fid:file.f_fid ~stripe in
         let keep_below = stripe_keep_below file.f_layout ~stripe ~size in
@@ -310,9 +371,13 @@ let truncate t file ~size =
             (Data_server.Truncate { rid; keep_below })
         with
         | Data_server.Done -> ()
-        | Data_server.Data _ -> assert false
+        | Data_server.Data _ as r ->
+            Protocol_error.fail
+              ~endpoint:(Rpc.name (t.io_route rid))
+              ~request:(Printf.sprintf "Truncate rid=%d keep_below=%d" rid keep_below)
+              ~got:(Data_server.io_resp_to_string r)
       done;
-      List.iter (fun (_, h) -> Lock_client.release t.locks h) held)
+      List.iter (fun (_, h) -> Lock_client.release t.locks h) held))
 
 let fsync t = Client_cache.flush_all t.cache
 

@@ -67,12 +67,39 @@ let flush t ~rid ~ranges =
       if t.config.Config.flush_wire_page_only then min bytes t.config.Config.page
       else bytes
     in
-    match
-      Rpc.call (t.io_route rid) ~src:t.node ~req_bytes:wire_bytes
-        (Data_server.Write_flush { rid; blocks })
-    with
-    | Data_server.Done -> ()
-    | Data_server.Data _ -> assert false
+    let do_rpc () =
+      match
+        Rpc.call (t.io_route rid) ~src:t.node ~req_bytes:wire_bytes
+          (Data_server.Write_flush { rid; blocks })
+      with
+      | Data_server.Done -> ()
+      | Data_server.Data _ as r ->
+          Protocol_error.fail
+            ~endpoint:(Rpc.name (t.io_route rid))
+            ~request:
+              (Printf.sprintf "Write_flush rid=%d blocks=%d bytes=%d" rid
+                 (List.length blocks) bytes)
+            ~got:(Data_server.io_resp_to_string r)
+    in
+    let sink = Engine.trace_sink t.eng in
+    if not (Obs.Trace.enabled sink) then do_rpc ()
+    else begin
+      let tid = Engine.current_pid t.eng in
+      let args =
+        [
+          ("rid", Obs.Json.Int rid);
+          ("bytes", Obs.Json.Int bytes);
+          ("blocks", Obs.Json.Int (List.length blocks));
+        ]
+      in
+      Obs.Trace.begin_span sink ~ts:(Engine.now t.eng) ~tid ~cat:"io" ~args
+        "cache.flush";
+      match do_rpc () with
+      | () -> Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid "cache.flush"
+      | exception e ->
+          Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid "cache.flush";
+          raise e
+    end
   end
 
 let flush_all t =

@@ -104,9 +104,31 @@ let trigger_cleanup t =
         t.cleaning <- false)
   end
 
+(* One server-side IO span nested inside Rpc's serve span (same courier
+   tid), so flushes/reads/truncates are attributable per data server in
+   the trace. *)
+let ds_span t name args f =
+  let sink = Engine.trace_sink t.eng in
+  if not (Obs.Trace.enabled sink) then f ()
+  else begin
+    let tid = Engine.current_pid t.eng in
+    Obs.Trace.begin_span sink ~ts:(Engine.now t.eng) ~tid ~cat:"io" ~args name;
+    match f () with
+    | v ->
+        Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid name;
+        v
+    | exception e ->
+        Obs.Trace.end_span sink ~ts:(Engine.now t.eng) ~tid name;
+        raise e
+  end
+
 let handle t req ~reply =
   match req with
   | Write_flush { rid; blocks } ->
+      ds_span t "ds.write_flush"
+        [ ("rid", Obs.Json.Int rid);
+          ("blocks", Obs.Json.Int (List.length blocks)) ]
+      @@ fun () ->
       let st = stripe t rid in
       t.stats.flush_rpcs <- t.stats.flush_rpcs + 1;
       t.stats.blocks_in <- t.stats.blocks_in + List.length blocks;
@@ -121,11 +143,19 @@ let handle t req ~reply =
       Node.disk_write t.node written;
       reply Done
   | Read { rid; range } ->
+      ds_span t "ds.read"
+        [ ("rid", Obs.Json.Int rid);
+          ("len", Obs.Json.Int (Interval.length range)) ]
+      @@ fun () ->
       let st = stripe t rid in
       t.stats.reads <- t.stats.reads + 1;
       Resource.consume (Node.disk t.node) (float_of_int (Interval.length range));
       reply (Data (Content.read st.store range))
   | Truncate { rid; keep_below } ->
+      ds_span t "ds.truncate"
+        [ ("rid", Obs.Json.Int rid);
+          ("keep_below", Obs.Json.Int keep_below) ]
+      @@ fun () ->
       let st = stripe t rid in
       if keep_below <= 0 then begin
         st.store <- Content.empty;
@@ -283,3 +313,7 @@ let stripe_rids t =
 
 let stats t = t.stats
 let node t = t.node
+
+let io_resp_to_string = function
+  | Done -> "Done"
+  | Data segs -> Printf.sprintf "Data(%d segments)" (List.length segs)

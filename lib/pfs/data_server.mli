@@ -84,3 +84,6 @@ type stats = {
 
 val stats : t -> stats
 val node : t -> Netsim.Node.t
+
+val io_resp_to_string : io_resp -> string
+(** Short rendering for diagnostics: ["Done"], ["Data(4 segments)"]. *)

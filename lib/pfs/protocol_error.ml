@@ -1,0 +1,14 @@
+exception
+  Protocol_error of { endpoint : string; request : string; got : string }
+
+let to_string ~endpoint ~request ~got =
+  Printf.sprintf "protocol error: %s: %s -> unexpected %s" endpoint request got
+
+let fail ~endpoint ~request ~got =
+  raise (Protocol_error { endpoint; request; got })
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error { endpoint; request; got } ->
+        Some (to_string ~endpoint ~request ~got)
+    | _ -> None)

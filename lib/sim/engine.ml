@@ -100,6 +100,8 @@ type t = {
   mutable blocked_procs : proc list; (* all procs currently suspended *)
   mutable fp : int64;
   mutable tie_chooser : (int -> int) option;
+  mutable sink : Obs.Trace.sink; (* Trace.null unless a run is traced *)
+  metrics : Obs.Metrics.t; (* per-engine registry, starts disabled *)
 }
 
 (* FNV-1a, 64 bit: the event-stream fingerprint two runs of the same
@@ -125,7 +127,8 @@ let fnv_string h s =
 let create () =
   { now = 0.; seq = 0; heap = Heap.create (); current = None; live = 0;
     regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = [];
-    fp = fnv_offset; tie_chooser = None }
+    fp = fnv_offset; tie_chooser = None; sink = Obs.Trace.null;
+    metrics = Obs.Metrics.create () }
 
 let now t = t.now
 let live_processes t = t.live
@@ -133,6 +136,11 @@ let events_dispatched t = t.dispatched
 let fingerprint t = t.fp
 let set_tie_chooser t f = t.tie_chooser <- Some f
 let clear_tie_chooser t = t.tie_chooser <- None
+let trace_sink t = t.sink
+let set_trace_sink t sink = t.sink <- sink
+let metrics t = t.metrics
+let current_pid t = match t.current with Some p -> p.pid | None -> 0
+let current_name t = Option.map (fun p -> p.name) t.current
 
 let push_event t ~time ~proc thunk =
   t.seq <- t.seq + 1;
@@ -165,6 +173,8 @@ let spawn t ?(daemon = false) ~name body =
     t.live <- t.live + 1;
     t.regular_spawned <- t.regular_spawned + 1
   end;
+  if Obs.Trace.enabled t.sink then
+    Obs.Trace.thread_name t.sink ~tid:proc.pid name;
   let finish () =
     proc.done_ <- true;
     if not daemon then t.live <- t.live - 1
@@ -174,7 +184,18 @@ let spawn t ?(daemon = false) ~name body =
     match_with body ()
       {
         retc = (fun () -> finish ());
-        exnc = (fun e -> finish (); raise e);
+        exnc =
+          (fun e ->
+            (* The process dies abnormally and the exception is about to
+               unwind through [run] to the caller: leave the engine in a
+               consistent state so post-mortems ([blocked_report]) and a
+               resumed [run] don't see the dead process as current or
+               waiting. *)
+            finish ();
+            t.current <- None;
+            t.blocked_procs <-
+              List.filter (fun p -> p.pid <> proc.pid) t.blocked_procs;
+            raise e);
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
@@ -183,13 +204,24 @@ let spawn t ?(daemon = false) ~name body =
                   (fun (k : (a, _) continuation) ->
                     let resumed = ref false in
                     mark_blocked t proc ctx;
-                    register (fun () ->
-                        if not !resumed then begin
-                          resumed := true;
-                          mark_unblocked t proc;
-                          push_event t ~time:t.now ~proc:(Some proc)
-                            (fun () -> continue k ())
-                        end))
+                    match
+                      register (fun () ->
+                          if not !resumed then begin
+                            resumed := true;
+                            mark_unblocked t proc;
+                            push_event t ~time:t.now ~proc:(Some proc)
+                              (fun () -> continue k ())
+                          end)
+                    with
+                    | () -> ()
+                    | exception e ->
+                        (* A blocking primitive failed while registering
+                           (bad argument, broken invariant): deliver the
+                           exception into the fiber at the suspension
+                           point so it unwinds the process body and the
+                           [exnc] cleanup above runs. *)
+                        mark_unblocked t proc;
+                        discontinue k e)
             | _ -> None);
       }
   in

@@ -103,4 +103,27 @@ val clear_tie_chooser : t -> unit
 
 val blocked_report : t -> blocked_proc list
 (** The processes currently suspended, in pid order (what {!Deadlock}
-    would carry if the queue drained now). *)
+    would carry if the queue drained now).  If a process body raised, the
+    dead process has been dropped and does not appear here. *)
+
+(** {1 Observability}
+
+    The engine carries the run's trace sink and metrics registry so every
+    layer above (RPC transport, lock servers, clients) can reach them
+    through the engine it already holds.  Both default to disabled — the
+    cost on untraced runs is one load-and-branch per instrumentation
+    site. *)
+
+val trace_sink : t -> Obs.Trace.sink
+(** The run's span/event sink; {!Obs.Trace.null} unless one was set. *)
+
+val set_trace_sink : t -> Obs.Trace.sink -> unit
+
+val metrics : t -> Obs.Metrics.t
+(** The run's metrics registry (created disabled with the engine). *)
+
+val current_pid : t -> int
+(** Pid of the process whose event is being dispatched; 0 outside any
+    process.  Used as the trace [tid]. *)
+
+val current_name : t -> string option

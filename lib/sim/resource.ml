@@ -3,11 +3,21 @@ type t = {
   rate : float;
   mutable available_at : float;
   mutable busy : float;
+  wait_hist : Obs.Metrics.histogram option;
+  busy_hist : Obs.Metrics.histogram option;
 }
 
-let create eng ~rate =
+let create eng ?metric ~rate () =
   if rate <= 0. then invalid_arg "Resource.create: rate must be positive";
-  { eng; rate; available_at = 0.; busy = 0. }
+  let wait_hist, busy_hist =
+    match metric with
+    | None -> (None, None)
+    | Some name ->
+        let m = Engine.metrics eng in
+        ( Some (Obs.Metrics.histogram m ("resource.wait." ^ name)),
+          Some (Obs.Metrics.histogram m ("resource.busy." ^ name)) )
+  in
+  { eng; rate; available_at = 0.; busy = 0.; wait_hist; busy_hist }
 
 let consume t amount =
   if amount < 0. then invalid_arg "Resource.consume: negative amount";
@@ -18,6 +28,12 @@ let consume t amount =
     let start = Float.max now t.available_at in
     t.available_at <- start +. service;
     t.busy <- t.busy +. service;
+    (match t.wait_hist with
+    | Some h -> Obs.Metrics.observe h (start -. now)
+    | None -> ());
+    (match t.busy_hist with
+    | Some h -> Obs.Metrics.observe h service
+    | None -> ());
     Engine.sleep t.eng (t.available_at -. now)
   end
 

@@ -12,8 +12,13 @@
 
 type t
 
-val create : Engine.t -> rate:float -> t
-(** [rate] in units/second; [infinity] makes {!consume} free. *)
+val create : Engine.t -> ?metric:string -> rate:float -> unit -> t
+(** [rate] in units/second; [infinity] makes {!consume} free.  [metric]
+    registers occupancy histograms ([resource.wait.<metric>], the FIFO
+    queueing delay before service starts, and [resource.busy.<metric>],
+    the service time itself) on the engine's metrics registry; kinds are
+    shared across instances, so every node's data pipe aggregates into
+    one instrument. *)
 
 val consume : t -> float -> unit
 (** Block for the FIFO-queued service time of [amount] units. *)

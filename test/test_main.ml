@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_util.suite;
+         Test_obs.suite;
          Test_sim.suite;
          Test_net.suite;
          Test_dlm.suite;

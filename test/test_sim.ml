@@ -205,7 +205,7 @@ let test_semaphore_counting () =
 
 let test_resource_fifo_rate () =
   let eng = Engine.create () in
-  let r = Resource.create eng ~rate:10. in
+  let r = Resource.create eng ~rate:10. () in
   let t1 = ref 0. and t2 = ref 0. in
   Engine.spawn eng ~name:"a" (fun () ->
       Resource.consume r 10.;
@@ -220,7 +220,7 @@ let test_resource_fifo_rate () =
 
 let test_resource_idle_gap () =
   let eng = Engine.create () in
-  let r = Resource.create eng ~rate:10. in
+  let r = Resource.create eng ~rate:10. () in
   Engine.spawn eng ~name:"a" (fun () ->
       Resource.consume r 10.;
       Engine.sleep eng 5.;
@@ -259,6 +259,50 @@ let test_nested_spawn () =
   Alcotest.(check (list string)) "both ran" [ "parent"; "child" ] (List.rev !log);
   feq "child extended the run" 2.0 (Engine.now eng)
 
+let test_crash_leaves_engine_consistent () =
+  (* An exception escaping a process body unwinds through [run] to the
+     caller; the engine must not keep the dead process as [current] or in
+     the blocked set, and must remain resumable. *)
+  let eng = Engine.create () in
+  let survived = ref false in
+  Engine.spawn eng ~name:"crasher" (fun () ->
+      Engine.sleep eng 1.0;
+      failwith "boom");
+  Engine.spawn eng ~name:"survivor" (fun () ->
+      Engine.sleep eng 2.0;
+      survived := true);
+  (try
+     Engine.run eng;
+     Alcotest.fail "expected the crash to escape run"
+   with Failure msg -> Alcotest.(check string) "the crash itself" "boom" msg);
+  Alcotest.(check (option string))
+    "no stale current process" None (Engine.current_name eng);
+  Alcotest.(check (list string))
+    "post-mortem blames only live waiters" [ "survivor" ]
+    (Engine.blocked_names (Engine.blocked_report eng));
+  Engine.run eng;
+  Alcotest.(check bool) "engine resumable after crash" true !survived;
+  feq "survivor finished on time" 2.0 (Engine.now eng)
+
+let test_crash_in_suspend_register () =
+  (* A blocking primitive that fails while registering its wakeup must
+     deliver the exception into the fiber (so the same cleanup runs),
+     not abort the scheduler mid-dispatch. *)
+  let eng = Engine.create () in
+  Engine.spawn eng ~name:"bad-blocker" (fun () ->
+      Engine.suspend ~ctx:"broken" eng (fun _resume ->
+          invalid_arg "broken primitive"));
+  (try
+     Engine.run eng;
+     Alcotest.fail "expected the register failure to escape run"
+   with Invalid_argument msg ->
+     Alcotest.(check string) "register's exception" "broken primitive" msg);
+  Alcotest.(check (option string))
+    "no stale current process" None (Engine.current_name eng);
+  Alcotest.(check (list string))
+    "dead process not reported blocked" []
+    (Engine.blocked_names (Engine.blocked_report eng))
+
 let test_many_processes_scale () =
   let eng = Engine.create () in
   let n = 10_000 in
@@ -287,6 +331,10 @@ let suite =
         Alcotest.test_case "polling daemon stops with work" `Quick
           test_daemon_polling_stops_with_work;
         Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+        Alcotest.test_case "crash leaves engine consistent" `Quick
+          test_crash_leaves_engine_consistent;
+        Alcotest.test_case "crash in suspend register" `Quick
+          test_crash_in_suspend_register;
         Alcotest.test_case "10k processes" `Quick test_many_processes_scale;
       ] );
     ( "sim.sync",
