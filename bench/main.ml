@@ -198,7 +198,7 @@ let run_micro () =
                | None -> Obs.Json.Null );
            ]))
     rows;
-  let n = Obs.Results.write ~schema:micro_schema ~path:"BENCH_micro.json" in
+  let n = Obs.Results.write ~schema:micro_schema ~path:"BENCH_micro.json" () in
   Printf.printf "\nwrote BENCH_micro.json (%d rows)\n" n
 
 let () =

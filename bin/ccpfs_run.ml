@@ -170,6 +170,98 @@ let explore_cmd =
           event-tie orderings")
     Term.(ret (const run $ max_arg))
 
+(* Deterministic simulation fuzzing: randomized cluster runs (seeded
+   configs, workloads and fault schedules) under the shadow-file and
+   analytic oracles, with greedy shrinking of any failure into a
+   replayable reproducer. *)
+let fuzz_cmd =
+  let count_arg =
+    let doc = "Number of consecutive seeds to run." in
+    Arg.(value & opt (some int) None & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Base seed (default: \\$(b,CCPFS_SEED) or the built-in default).  \
+       With no $(b,--count), runs exactly this one seed — how a failure \
+       printed by CI is replayed."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let shrink_arg =
+    let doc = "Re-run budget of the greedy minimizer applied to a failure." in
+    Arg.(value & opt int 150 & info [ "shrink" ] ~docv:"BUDGET" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Plant a deliberate bug to prove the oracles bite: $(b,sn-reuse) \
+       (lock servers reissue an old sequence number) or $(b,drop-block) \
+       (data servers silently drop flushed blocks)."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"BUG" ~doc)
+  in
+  let run count seed shrink inject_name =
+    let inject =
+      match inject_name with
+      | None -> Ok None
+      | Some s -> (
+          match Fuzz.Exec.inject_of_string s with
+          | Some i -> Ok (Some i)
+          | None -> Error (Printf.sprintf "unknown --inject %S" s))
+    in
+    match inject with
+    | Error e -> `Error (false, e)
+    | Ok inject ->
+        let base = match seed with Some s -> s | None -> Fuzz.Seed.base () in
+        let count =
+          match (count, seed) with
+          | Some n, _ -> n
+          | None, Some _ -> 1
+          | None, None -> 100
+        in
+        let progress k total =
+          if k mod 25 = 0 || k = total then
+            Printf.printf "fuzz: %d/%d seeds ok\n%!" k total
+        in
+        Printf.printf "fuzz: seeds %d..%d%s\n%!" base
+          (base + count - 1)
+          (match inject with
+          | Some i -> " (injecting " ^ Fuzz.Exec.inject_to_string i ^ ")"
+          | None -> "");
+        let summary =
+          Fuzz.Driver.run_range ?inject ~shrink_budget:shrink ~progress ~base
+            ~count ()
+        in
+        Obs.Results.add (Fuzz.Driver.result_row ~base summary);
+        let n =
+          Obs.Results.write ~append:true ~schema:"ccpfs.fuzz/1"
+            ~path:"BENCH_fuzz.json" ()
+        in
+        Printf.printf "results: %d row(s) in BENCH_fuzz.json\n" n;
+        (match summary.failure with
+        | None ->
+            Printf.printf
+              "fuzz: %d case(s) passed (%d simulated, %d analytic), all \
+               oracles clean\n"
+              summary.tested summary.sims summary.analytics;
+            `Ok ()
+        | Some f ->
+            Printf.printf "\nfuzz: FAILURE at seed %d\n  %s\n" f.seed f.reason;
+            Printf.printf "replay: %s\n" (Fuzz.Driver.repro_hint f);
+            Format.printf "minimized (%d rerun(s)): %s@.%a@."
+              f.shrink_reruns f.shrunk_reason Fuzz.Case.pp f.shrunk;
+            Obs.Json.to_file "FUZZ_repro.json" (Fuzz.Driver.repro_json f);
+            Printf.printf
+              "wrote FUZZ_repro.json (minimized case + OCaml test skeleton)\n";
+            `Error (false, "fuzz failure"))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the simulated cluster: randomized configs, workloads and \
+          fault schedules under determinism, invariant, shadow-file and \
+          analytic oracles")
+    Term.(ret (const run $ count_arg $ seed_arg $ shrink_arg $ inject_arg))
+
 let () =
   let info =
     Cmd.info "ccpfs_run" ~version:"1.0.0"
@@ -177,4 +269,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; explore_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; trace_cmd; explore_cmd; fuzz_cmd ]))

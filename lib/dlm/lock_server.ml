@@ -71,6 +71,8 @@ type t = {
   mutable tracer : (float -> trace_event -> unit) option;
   mutable validator : (t -> unit) option;
   q_depth : Obs.Metrics.histogram; (* queue length at each enqueue *)
+  mutable sn_reuse_every : int; (* injected sequencer fault: 0 = off *)
+  mutable sn_issued : int;
 }
 
 (* Lock-lifecycle instants on the trace sink (enqueue -> grant -> revoke
@@ -197,8 +199,23 @@ let grant_waiter t rs (w : waiter) ~own ~early =
     Types.normalize_ranges (List.concat_map (fun o -> o.ranges) own @ ranges)
   in
   let mode = w.eff_mode in
-  let sn = rs.next_sn in
-  if Mode.is_write mode then rs.next_sn <- rs.next_sn + 1;
+  let sn =
+    if not (Mode.is_write mode) then rs.next_sn
+    else begin
+      t.sn_issued <- t.sn_issued + 1;
+      if
+        t.sn_reuse_every > 0
+        && t.sn_issued mod t.sn_reuse_every = 0
+        && rs.next_sn > 1
+      then (* injected sequencer fault: the previous SN is reissued *)
+        rs.next_sn - 1
+      else begin
+        let sn = rs.next_sn in
+        rs.next_sn <- rs.next_sn + 1;
+        sn
+      end
+    end
+  in
   let conflicts_queued =
     List.exists
       (fun (w' : waiter) ->
@@ -430,6 +447,8 @@ let create eng params ~node ~name ~policy =
       q_depth =
         Obs.Metrics.histogram (Engine.metrics eng)
           (Printf.sprintf "dlm.%s.queue_depth" name);
+      sn_reuse_every = 0;
+      sn_issued = 0;
     }
   in
   t.lock_ep <-
@@ -526,6 +545,10 @@ let reinstall t ~client ~locks =
 let restore_sn_floor t rid sn =
   let rs = rstate t rid in
   if sn >= rs.next_sn then rs.next_sn <- sn + 1
+
+let inject_sn_reuse t ~every =
+  if every <= 0 then invalid_arg (t.name ^ ": inject_sn_reuse: every <= 0");
+  t.sn_reuse_every <- every
 
 type lock_view = {
   v_lock_id : int;

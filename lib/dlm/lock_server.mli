@@ -123,6 +123,12 @@ val reinstall :
 val restore_sn_floor : t -> Types.resource_id -> int -> unit
 (** Ensure the resource's next SN is strictly greater than [sn]. *)
 
+val inject_sn_reuse : t -> every:int -> unit
+(** Fault injection for the sanitizer/fuzzer tests only: every [every]-th
+    write-lock grant reissues the resource's previous sequence number
+    instead of a fresh one — the SN-ordering bug the "sn-rules" and
+    "sn-monotone" invariants exist to catch. *)
+
 (** {1 Introspection (tests and reports)} *)
 
 type lock_view = {

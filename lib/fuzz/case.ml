@@ -1,0 +1,250 @@
+type op =
+  | Write of { block : int; blocks : int }
+  | Read of { block : int; blocks : int }
+  | Append of { blocks : int }
+  | Truncate of { blocks : int }
+
+type phase = { ops : op list array; crash_server : int option }
+
+type sim = {
+  policy_idx : int;
+  n_servers : int;
+  n_clients : int;
+  stripes : int;
+  stripe_blocks : int;
+  dirty_min_blocks : int;
+  dirty_max_blocks : int;
+  extent_cache_limit : int;
+  tie_random : bool;
+  jitter : float;
+  phases : phase list;
+}
+
+type analytic = { a_clients : int; a_bytes : int }
+type kind = Sim of sim | Analytic of analytic
+type t = { seed : int; params : Netsim.Params.t; kind : kind }
+
+let policies =
+  [|
+    Seqdlm.Policy.seqdlm;
+    Seqdlm.Policy.dlm_basic;
+    Seqdlm.Policy.dlm_lustre;
+    Seqdlm.Policy.dlm_datatype;
+  |]
+
+let policy_of (s : sim) = policies.(s.policy_idx mod Array.length policies)
+
+let sim_op_count (s : sim) =
+  List.fold_left
+    (fun acc p -> Array.fold_left (fun acc l -> acc + List.length l) acc p.ops)
+    0 s.phases
+
+let op_count t =
+  match t.kind with Analytic a -> a.a_clients | Sim s -> sim_op_count s
+
+let client_count t =
+  match t.kind with Analytic a -> a.a_clients | Sim s -> s.n_clients
+
+let crash_count t =
+  match t.kind with
+  | Analytic _ -> 0
+  | Sim s ->
+      List.fold_left
+        (fun acc p -> acc + match p.crash_server with Some _ -> 1 | None -> 0)
+        0 s.phases
+
+let summary t =
+  match t.kind with
+  | Analytic a ->
+      Printf.sprintf "seed %d: analytic, %d conflicting PW writers x %s" t.seed
+        a.a_clients
+        (Ccpfs_util.Units.bytes_to_string a.a_bytes)
+  | Sim s ->
+      Printf.sprintf
+        "seed %d: %s, %d client(s) x %d server(s), %d stripe(s), %d phase(s), \
+         %d op(s), %d crash(es)"
+        t.seed (policy_of s).Seqdlm.Policy.name s.n_clients s.n_servers
+        s.stripes (List.length s.phases) (sim_op_count s) (crash_count t)
+
+let pp_op ppf = function
+  | Write { block; blocks } ->
+      Format.fprintf ppf "write[%d,+%d)" block blocks
+  | Read { block; blocks } -> Format.fprintf ppf "read[%d,+%d)" block blocks
+  | Append { blocks } -> Format.fprintf ppf "append(+%d)" blocks
+  | Truncate { blocks } -> Format.fprintf ppf "truncate(->%d)" blocks
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@," (summary t);
+  (match t.kind with
+  | Analytic _ -> ()
+  | Sim s ->
+      Format.fprintf ppf
+        "  dirty %d/%d pages, extent-cache limit %d, tie_random %b, jitter \
+         %gs@,"
+        s.dirty_min_blocks s.dirty_max_blocks s.extent_cache_limit s.tie_random
+        s.jitter;
+      List.iteri
+        (fun pi (p : phase) ->
+          Format.fprintf ppf "  phase %d%s:@," pi
+            (match p.crash_server with
+            | Some srv -> Printf.sprintf " (then crash server %d)" srv
+            | None -> "");
+          Array.iteri
+            (fun ci ops ->
+              if ops <> [] then begin
+                Format.fprintf ppf "    client %d: " ci;
+                List.iteri
+                  (fun i op ->
+                    if i > 0 then Format.fprintf ppf ", ";
+                    pp_op ppf op)
+                  ops;
+                Format.fprintf ppf "@,"
+              end)
+            p.ops)
+        s.phases);
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let op_to_json op =
+  let open Obs.Json in
+  match op with
+  | Write { block; blocks } ->
+      Obj [ ("op", Str "write"); ("block", Int block); ("blocks", Int blocks) ]
+  | Read { block; blocks } ->
+      Obj [ ("op", Str "read"); ("block", Int block); ("blocks", Int blocks) ]
+  | Append { blocks } -> Obj [ ("op", Str "append"); ("blocks", Int blocks) ]
+  | Truncate { blocks } ->
+      Obj [ ("op", Str "truncate"); ("blocks", Int blocks) ]
+
+let params_to_json (p : Netsim.Params.t) =
+  let open Obs.Json in
+  Obj
+    [
+      ("rtt", Float p.rtt);
+      ("b_net", Float p.b_net);
+      ("server_ops", Float p.server_ops);
+      ("b_disk", Float p.b_disk);
+      ("b_mem", Float p.b_mem);
+      ("ctl_msg_bytes", Int p.ctl_msg_bytes);
+      ("bulk_threshold", Int p.bulk_threshold);
+      ("client_io_overhead", Float p.client_io_overhead);
+    ]
+
+let to_json t =
+  let open Obs.Json in
+  let kind =
+    match t.kind with
+    | Analytic a ->
+        Obj
+          [
+            ("kind", Str "analytic");
+            ("clients", Int a.a_clients);
+            ("bytes", Int a.a_bytes);
+          ]
+    | Sim s ->
+        Obj
+          [
+            ("kind", Str "sim");
+            ("policy", Str (policy_of s).Seqdlm.Policy.name);
+            ("policy_idx", Int s.policy_idx);
+            ("n_servers", Int s.n_servers);
+            ("n_clients", Int s.n_clients);
+            ("stripes", Int s.stripes);
+            ("stripe_blocks", Int s.stripe_blocks);
+            ("dirty_min_blocks", Int s.dirty_min_blocks);
+            ("dirty_max_blocks", Int s.dirty_max_blocks);
+            ("extent_cache_limit", Int s.extent_cache_limit);
+            ("tie_random", Bool s.tie_random);
+            ("jitter", Float s.jitter);
+            ( "phases",
+              List
+                (List.map
+                   (fun (p : phase) ->
+                     Obj
+                       [
+                         ( "ops",
+                           List
+                             (Array.to_list p.ops
+                             |> List.map (fun ops ->
+                                    List (List.map op_to_json ops))) );
+                         ( "crash_server",
+                           match p.crash_server with
+                           | Some s -> Int s
+                           | None -> Null );
+                       ])
+                   s.phases) );
+          ]
+  in
+  Obj [ ("seed", Int t.seed); ("params", params_to_json t.params); ("case", kind) ]
+
+(* ------------------------------------------------------------------ *)
+(* OCaml regression-test skeleton                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ml_float f =
+  if f = infinity then "infinity"
+  else if f = neg_infinity then "neg_infinity"
+  else if Float.is_nan f then "nan"
+  else Printf.sprintf "%h" f
+
+let ml_op = function
+  | Write { block; blocks } ->
+      Printf.sprintf "Write { block = %d; blocks = %d }" block blocks
+  | Read { block; blocks } ->
+      Printf.sprintf "Read { block = %d; blocks = %d }" block blocks
+  | Append { blocks } -> Printf.sprintf "Append { blocks = %d }" blocks
+  | Truncate { blocks } -> Printf.sprintf "Truncate { blocks = %d }" blocks
+
+let to_ocaml_test t =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "(* Minimized fuzz failure; replay: ccpfs_run fuzz --seed %d *)\n" t.seed;
+  add "let test_fuzz_seed_%d () =\n" (abs t.seed);
+  add "  let open Fuzz.Case in\n";
+  add "  let params =\n";
+  add
+    "    { Netsim.Params.rtt = %s; b_net = %s; server_ops = %s; b_disk = %s;\n"
+    (ml_float t.params.rtt) (ml_float t.params.b_net)
+    (ml_float t.params.server_ops)
+    (ml_float t.params.b_disk);
+  add "      b_mem = %s; ctl_msg_bytes = %d; bulk_threshold = %d;\n"
+    (ml_float t.params.b_mem) t.params.ctl_msg_bytes t.params.bulk_threshold;
+  add "      client_io_overhead = %s }\n" (ml_float t.params.client_io_overhead);
+  add "  in\n";
+  (match t.kind with
+  | Analytic a ->
+      add "  let kind = Analytic { a_clients = %d; a_bytes = %d } in\n"
+        a.a_clients a.a_bytes
+  | Sim s ->
+      add "  let kind =\n    Sim\n";
+      add "      { policy_idx = %d; n_servers = %d; n_clients = %d;\n"
+        s.policy_idx s.n_servers s.n_clients;
+      add "        stripes = %d; stripe_blocks = %d; dirty_min_blocks = %d;\n"
+        s.stripes s.stripe_blocks s.dirty_min_blocks;
+      add "        dirty_max_blocks = %d; extent_cache_limit = %d;\n"
+        s.dirty_max_blocks s.extent_cache_limit;
+      add "        tie_random = %b; jitter = %s;\n" s.tie_random
+        (ml_float s.jitter);
+      add "        phases =\n          [\n";
+      List.iter
+        (fun (p : phase) ->
+          add "            { ops =\n                [|\n";
+          Array.iter
+            (fun ops ->
+              add "                  [ %s ];\n"
+                (String.concat "; " (List.map ml_op ops)))
+            p.ops;
+          add "                |];\n";
+          add "              crash_server = %s };\n"
+            (match p.crash_server with
+            | Some srv -> Printf.sprintf "Some %d" srv
+            | None -> "None"))
+        s.phases;
+      add "          ] }\n";
+      add "  in\n");
+  add "  let case = { Fuzz.Case.seed = %d; params; kind } in\n" t.seed;
+  add "  ignore (Fuzz.Exec.run case)\n";
+  Buffer.contents b

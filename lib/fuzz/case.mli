@@ -1,0 +1,71 @@
+(** A fuzz case: everything one randomized cluster run depends on,
+    as a first-class value.
+
+    Cases are normally derived from a seed by {!Gen.of_seed}, but the
+    type is plain data so the shrinker can edit it and regression tests
+    can embed a minimized case literally (see {!to_ocaml_test}). *)
+
+(** One client operation.  Offsets and lengths are in units of the cache
+    page (4 KiB) — the lock-alignment granularity, so fuzz cases explore
+    conflict structure rather than sub-page alignment noise. *)
+type op =
+  | Write of { block : int; blocks : int }
+  | Read of { block : int; blocks : int }
+  | Append of { blocks : int }
+  | Truncate of { blocks : int }  (** new size *)
+
+type phase = {
+  ops : op list array;  (** per client, index = client id *)
+  crash_server : int option;
+      (** crash and recover this server after the phase completes *)
+}
+
+(** A randomized cluster run: every client executes its per-phase op
+    list against one shared file; phases run to quiescence in turn, with
+    optional lock-server crash+recovery between them. *)
+type sim = {
+  policy_idx : int;  (** index into {!policies} *)
+  n_servers : int;
+  n_clients : int;
+  stripes : int;
+  stripe_blocks : int;  (** stripe size, pages *)
+  dirty_min_blocks : int;  (** voluntary-flush threshold, pages *)
+  dirty_max_blocks : int;  (** writer-blocking threshold, pages *)
+  extent_cache_limit : int;
+  tie_random : bool;  (** random (legal) choice among same-time events *)
+  jitter : float;  (** extra random event delay, seconds; 0 = none *)
+  phases : phase list;
+}
+
+(** A no-contention-structure validation case: N fully-conflicting PW
+    writes of D bytes under the basic DLM, checked against Eq. (1). *)
+type analytic = { a_clients : int; a_bytes : int }
+
+type kind = Sim of sim | Analytic of analytic
+
+type t = { seed : int; params : Netsim.Params.t; kind : kind }
+
+val policies : Seqdlm.Policy.t array
+(** The four §V-A lock managers, in a fixed order. *)
+
+val policy_of : sim -> Seqdlm.Policy.t
+
+val op_count : t -> int
+(** Total client operations (analytic cases count one write per client). *)
+
+val client_count : t -> int
+val crash_count : t -> int
+
+val summary : t -> string
+(** One-line human description for progress logs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump (failure reports). *)
+
+val to_json : t -> Obs.Json.t
+
+val to_ocaml_test : t -> string
+(** An OCaml test-skeleton fragment that replays this exact case through
+    [Fuzz.Exec.run] — what the shrinker emits for a minimized failure so
+    it can be pasted into the regression suite.  Floats are printed as
+    hex literals to round-trip exactly. *)

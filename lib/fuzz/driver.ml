@@ -1,0 +1,68 @@
+type failure = {
+  seed : int;
+  case : Case.t;
+  reason : string;
+  shrunk : Case.t;
+  shrunk_reason : string;
+  shrink_reruns : int;
+}
+
+type summary = {
+  tested : int;
+  sims : int;
+  analytics : int;
+  failure : failure option;
+}
+
+let run_range ?inject ?shrink_budget ?progress ~base ~count () =
+  let sims = ref 0 and analytics = ref 0 in
+  let failure = ref None in
+  let k = ref 0 in
+  while !failure = None && !k < count do
+    let seed = base + !k in
+    let case = Gen.of_seed seed in
+    (match case.Case.kind with
+    | Case.Sim _ -> incr sims
+    | Case.Analytic _ -> incr analytics);
+    (match Exec.catch ?inject case with
+    | Ok _ -> ()
+    | Error reason ->
+        let shrunk, shrunk_reason, shrink_reruns =
+          Shrink.minimize ?inject ?budget:shrink_budget case reason
+        in
+        failure :=
+          Some { seed; case; reason; shrunk; shrunk_reason; shrink_reruns });
+    incr k;
+    match progress with Some f -> f !k count | None -> ()
+  done;
+  { tested = !k; sims = !sims; analytics = !analytics; failure = !failure }
+
+let repro_hint (f : failure) =
+  Printf.sprintf "ccpfs_run fuzz --seed %d --shrink" f.seed
+
+let repro_json (f : failure) =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema", Str "ccpfs.fuzz-repro/1");
+      ("seed", Int f.seed);
+      ("reason", Str f.reason);
+      ("replay", Str (repro_hint f));
+      ("case", Case.to_json f.case);
+      ("shrunk_reason", Str f.shrunk_reason);
+      ("shrunk_case", Case.to_json f.shrunk);
+      ("shrink_reruns", Int f.shrink_reruns);
+      ("ocaml_test", Str (Case.to_ocaml_test f.shrunk));
+    ]
+
+let result_row ~base (s : summary) =
+  let open Obs.Json in
+  Obj
+    [
+      ("base_seed", Int base);
+      ("tested", Int s.tested);
+      ("sim_cases", Int s.sims);
+      ("analytic_cases", Int s.analytics);
+      ( "failed_seed",
+        match s.failure with Some f -> Int f.seed | None -> Null );
+    ]

@@ -1,0 +1,36 @@
+(** The fuzz campaign driver behind [ccpfs_run fuzz] and the CI smoke
+    job: generate-execute-shrink over a contiguous seed range. *)
+
+type failure = {
+  seed : int;
+  case : Case.t;  (** as generated *)
+  reason : string;
+  shrunk : Case.t;
+  shrunk_reason : string;
+  shrink_reruns : int;
+}
+
+type summary = {
+  tested : int;  (** seeds executed (stops at the first failure) *)
+  sims : int;
+  analytics : int;
+  failure : failure option;
+}
+
+val run_range :
+  ?inject:Exec.inject -> ?shrink_budget:int ->
+  ?progress:(int -> int -> unit) -> base:int -> count:int -> unit -> summary
+(** Execute seeds [base .. base+count-1] in order, stopping at (and
+    minimizing) the first failure.  [progress done total] is called
+    after every case. *)
+
+val repro_hint : failure -> string
+(** The replay command line: ["ccpfs_run fuzz --seed N --shrink"]. *)
+
+val repro_json : failure -> Obs.Json.t
+(** The [FUZZ_repro.json] document: seed, reason, replay command, the
+    minimized case and a paste-ready OCaml regression test. *)
+
+val result_row : base:int -> summary -> Obs.Json.t
+(** One accumulator row for [BENCH_fuzz.json]
+    (schema ["ccpfs.fuzz/1"]). *)

@@ -1,0 +1,236 @@
+open Ccpfs_util
+open Ccpfs
+
+type inject = Sn_reuse | Drop_flush
+
+let inject_of_string = function
+  | "sn-reuse" -> Some Sn_reuse
+  | "drop-block" | "drop-flush" -> Some Drop_flush
+  | _ -> None
+
+let inject_to_string = function
+  | Sn_reuse -> "sn-reuse"
+  | Drop_flush -> "drop-block"
+
+type outcome = {
+  fingerprint : int64;
+  ops : int;
+  virtual_end : float;
+  oracle : string;
+}
+
+let tolerance = 0.25
+
+(* ------------------------------------------------------------------ *)
+(* Simulated cases                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let config_of (s : Case.sim) =
+  let page = Config.default.page in
+  {
+    Config.default with
+    dirty_min = s.dirty_min_blocks * page;
+    dirty_max = s.dirty_max_blocks * page;
+    extent_cache_limit = s.extent_cache_limit;
+    extent_log = true;
+  }
+
+let install_inject cl = function
+  | None -> ()
+  | Some Sn_reuse ->
+      for i = 0 to Cluster.n_servers cl - 1 do
+        Seqdlm.Lock_server.inject_sn_reuse (Cluster.lock_server cl i) ~every:3
+      done
+  | Some Drop_flush ->
+      for i = 0 to Cluster.n_servers cl - 1 do
+        Data_server.inject_drop_block (Cluster.data_server cl i) ~every:5
+      done
+
+(* §IV-C2: after recovery, freshly issued SNs must stay above everything
+   the crashed server ever issued — above both the extent log's high
+   water mark and every grant the clients still cache. *)
+let assert_sn_floor cl srv =
+  let ls = Cluster.lock_server cl srv in
+  let ds = Cluster.data_server cl srv in
+  let rids =
+    List.sort_uniq compare
+      (Seqdlm.Lock_server.resource_ids ls @ Data_server.stripe_rids ds)
+  in
+  List.iter
+    (fun rid ->
+      let next = Seqdlm.Lock_server.next_sn ls rid in
+      let logged = Option.value (Data_server.max_logged_sn ds rid) ~default:0 in
+      let reinstalled =
+        List.fold_left
+          (fun m (v : Seqdlm.Lock_server.lock_view) -> max m v.v_sn)
+          0
+          (Seqdlm.Lock_server.granted_locks ls rid)
+      in
+      if next <= max logged reinstalled then
+        Check.Violation.fail ~inv:"recovery-sn-floor"
+          "server %d rid %d: next_sn %d not above max recovered SN (extent \
+           log %d, reinstalled grants %d)"
+          srv rid next logged reinstalled)
+    rids
+
+let run_op shadow page c f (op : Case.op) =
+  match op with
+  | Case.Write { block; blocks } ->
+      Client.write c f ~off:(block * page) ~len:(blocks * page)
+  | Case.Read { block; blocks } ->
+      ignore (Client.read c f ~off:(block * page) ~len:(blocks * page))
+  | Case.Append { blocks } -> ignore (Client.append c f ~len:(blocks * page))
+  | Case.Truncate { blocks } ->
+      Client.truncate c f ~size:(blocks * page);
+      (* Journaled after completion: the whole-file PW serializes the
+         truncate against every conflicting write (no early grant for
+         PW), so its completion position in the journal is its
+         serialization position. *)
+      Shadow.record_truncate shadow ~size:(blocks * page)
+
+(* One full scenario execution on a fresh world; returns the cluster for
+   fingerprinting and metrics. *)
+let sim_pass ?inject (case : Case.t) (s : Case.sim) =
+  let page = Config.default.page in
+  let cl =
+    Cluster.create ~params:case.params ~config:(config_of s)
+      ~policy:(Case.policy_of s) ~n_servers:s.n_servers
+      ~n_clients:s.n_clients ()
+  in
+  let eng = Cluster.engine cl in
+  (* Legal nondeterminism, itself a deterministic function of the seed. *)
+  if s.tie_random then
+    Dessim.Engine.seed_nondeterminism ~max_jitter:s.jitter ~seed:case.seed eng
+  else if s.jitter > 0. then begin
+    let jr = Det_random.create ~seed:(case.seed lxor 0x6a17) in
+    Dessim.Engine.set_event_jitter eng (fun () ->
+        Det_random.float jr s.jitter)
+  end;
+  Check.Sanitize.attach_cluster cl;
+  install_inject cl inject;
+  let layout =
+    Layout.v ~stripe_size:(s.stripe_blocks * page) ~stripe_count:s.stripes ()
+  in
+  let shadow = Shadow.create ~layout in
+  for i = 0 to s.n_clients - 1 do
+    let cache = Client.cache (Cluster.client cl i) in
+    let writer = Client_cache.client_id cache in
+    Client_cache.set_write_observer cache (fun ~rid ~range ~sn ~op ->
+        Shadow.record_write shadow ~writer ~rid ~range ~sn ~op)
+  done;
+  let file = ref None in
+  List.iter
+    (fun (ph : Case.phase) ->
+      let spawned = ref false in
+      Array.iteri
+        (fun i ops ->
+          if ops <> [] then begin
+            spawned := true;
+            Cluster.spawn_client cl i ~name:(Printf.sprintf "fuzz-c%d" i)
+              (fun c ->
+                let f = Client.open_file c ~create:true ~layout "/fuzz" in
+                if !file = None then file := Some f;
+                List.iter (run_op shadow page c f) ops)
+          end)
+        ph.ops;
+      if !spawned then Check.Sanitize.run_cluster cl;
+      match ph.crash_server with
+      | Some srv ->
+          let srv = srv mod s.n_servers in
+          Cluster.crash_and_recover_server cl srv;
+          assert_sn_floor cl srv
+      | None -> ())
+    s.phases;
+  (match !file with
+  | Some f ->
+      Cluster.fsync_all cl;
+      Cluster.check_invariants cl;
+      Check.Sanitize.check_cluster cl;
+      Shadow.check_against shadow cl f
+  | None -> ());
+  cl
+
+let total_ops cl =
+  let n = ref 0 in
+  for i = 0 to Cluster.n_clients cl - 1 do
+    n := !n + Client.ops (Cluster.client cl i)
+  done;
+  !n
+
+let run_sim ?inject (case : Case.t) (s : Case.sim) =
+  let last = ref (0, 0.) in
+  let fp =
+    Check.Determinism.check ~name:(Printf.sprintf "fuzz seed %d" case.seed)
+      (fun () ->
+        let cl = sim_pass ?inject case s in
+        last := (total_ops cl, Cluster.now cl);
+        Cluster.engine cl)
+  in
+  let ops, virtual_end = !last in
+  { fingerprint = fp; ops; virtual_end; oracle = "shadow" }
+
+(* ------------------------------------------------------------------ *)
+(* Analytic cases                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The §II-C scenario, mirrored from the exp_model validation: N clients
+   issue one fully-conflicting PW write of D bytes each under the basic
+   DLM; the run ends when the last write returns from the cache, i.e.
+   after the (N-1) serialized revocation+flush rounds Eq. (1) counts. *)
+let analytic_pass (case : Case.t) (a : Case.analytic) =
+  let config =
+    Config.with_dirty_limits ~dirty_min:(64 * Units.mib)
+      ~dirty_max:(256 * Units.mib) Config.default
+  in
+  let cl =
+    Cluster.create ~params:case.params ~config ~policy:Seqdlm.Policy.dlm_basic
+      ~n_servers:1 ~n_clients:a.a_clients ()
+  in
+  Check.Sanitize.attach_cluster cl;
+  let layout = Layout.v ~stripe_size:(4 * Units.mib) ~stripe_count:1 () in
+  for i = 0 to a.a_clients - 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "an-c%d" i) (fun c ->
+        let f = Client.open_file c ~create:true ~layout "/conflict" in
+        Client.write ~mode:Seqdlm.Mode.PW c f ~off:0 ~len:a.a_bytes)
+  done;
+  Check.Sanitize.run_cluster cl;
+  cl
+
+let run_analytic (case : Case.t) (a : Case.analytic) =
+  let finish = ref 0. in
+  let fp =
+    Check.Determinism.check ~name:(Printf.sprintf "fuzz seed %d" case.seed)
+      (fun () ->
+        let cl = analytic_pass case a in
+        finish := Cluster.now cl;
+        Cluster.engine cl)
+  in
+  let n = a.a_clients and d = a.a_bytes in
+  let simulated = float_of_int (n * d) /. !finish in
+  let model = Analytic.Model.bandwidth_exact case.params ~n ~d in
+  let ratio = simulated /. model in
+  if Float.abs (ratio -. 1.) > tolerance then
+    Check.Violation.fail ~inv:"analytic-model"
+      "Eq. (1) disagrees with the simulator: %.3e B/s simulated vs %.3e B/s \
+       model (ratio %.3f, n=%d, D=%d)"
+      simulated model ratio n d;
+  { fingerprint = fp; ops = n; virtual_end = !finish; oracle = "analytic" }
+
+(* ------------------------------------------------------------------ *)
+
+let run ?inject (case : Case.t) =
+  match case.kind with
+  | Case.Sim s -> run_sim ?inject case s
+  | Case.Analytic a -> run_analytic case a
+
+let describe_exn = function
+  | Check.Violation.Violation v ->
+      "invariant violation: " ^ Check.Violation.to_string v
+  | Shadow.Divergence s -> "shadow-file divergence: " ^ s
+  | Check.Deadlock.Deadlock_found r -> "deadlock: " ^ Check.Deadlock.to_string r
+  | e -> Printexc.to_string e
+
+let catch ?inject case =
+  match run ?inject case with
+  | o -> Ok o
+  | exception e -> Error (describe_exn e)

@@ -1,0 +1,153 @@
+open Ccpfs_util
+
+let max_block = 32
+let page = Units.page
+
+let random_op rng =
+  match Det_random.int rng 10 with
+  | 0 | 1 | 2 | 3 | 4 | 5 ->
+      let blocks = 1 + Det_random.int rng 6 in
+      let block = Det_random.int rng (max_block - blocks + 1) in
+      Case.Write { block; blocks }
+  | 6 | 7 ->
+      let blocks = 1 + Det_random.int rng 6 in
+      let block = Det_random.int rng (max_block - blocks + 1) in
+      Case.Read { block; blocks }
+  | 8 -> Case.Append { blocks = 1 + Det_random.int rng 3 }
+  | _ -> Case.Truncate { blocks = Det_random.int rng (max_block + 1) }
+
+(* Per-client op lists for one phase.  Half the phases start from an IOR
+   shared-file pattern (the paper's workload shapes), the rest are pure
+   random mixes.  Draw order is fixed: loops, not [Array.init] (whose
+   evaluation order is unspecified). *)
+let gen_phase rng ~n_clients =
+  let ops = Array.make n_clients [] in
+  if Det_random.bool rng then begin
+    let pattern =
+      Det_random.pick rng
+        [| Workloads.Access.N1_segmented; Workloads.Access.N1_strided |]
+    in
+    let xfer = (1 + Det_random.int rng 2) * page in
+    let blocks = 1 + Det_random.int rng 3 in
+    for rank = 0 to n_clients - 1 do
+      ops.(rank) <-
+        Workloads.Ior.accesses ~pattern ~nprocs:n_clients ~rank ~xfer ~blocks
+        |> List.map (fun (a : Workloads.Access.t) ->
+               Case.Write { block = a.off / page; blocks = a.len / page })
+    done
+  end;
+  for i = 0 to n_clients - 1 do
+    let extra =
+      Det_random.int rng 5 + (if ops.(i) = [] then 1 else 0)
+    in
+    let acc = ref [] in
+    for _ = 1 to extra do
+      acc := random_op rng :: !acc
+    done;
+    ops.(i) <- ops.(i) @ List.rev !acc
+  done;
+  let crash_server = Det_random.int rng 3 = 0 in
+  (ops, crash_server)
+
+let gen_sim_params rng =
+  let rtt = 5e-5 +. Det_random.float rng 4.5e-4 in
+  let b_net = 1e9 +. Det_random.float rng 9e9 in
+  let server_ops = 5e3 +. Det_random.float rng 2e5 in
+  let b_disk = 2e8 +. Det_random.float rng 1.8e9 in
+  let b_mem = 1e9 +. Det_random.float rng 9e9 in
+  let client_io_overhead = Det_random.float rng 2e-5 in
+  {
+    Netsim.Params.rtt;
+    b_net;
+    server_ops;
+    b_disk;
+    b_mem;
+    ctl_msg_bytes = 128;
+    bulk_threshold = 16 * 1024;
+    client_io_overhead;
+  }
+
+let gen_sim seed rng =
+  let params = gen_sim_params rng in
+  let policy_idx = Det_random.int rng (Array.length Case.policies) in
+  let stripes = Det_random.pick rng [| 1; 1; 2; 4 |] in
+  let stripe_blocks = Det_random.pick rng [| 4; 8; 16 |] in
+  let n_servers = 1 + Det_random.int rng (min 2 stripes) in
+  let n_clients = 1 + Det_random.int rng 4 in
+  let dirty_min_blocks =
+    (* Tight limits make the flush daemon and writer backpressure fire
+       mid-run; generous ones keep everything dirty until fsync. *)
+    if Det_random.bool rng then 8 + Det_random.int rng 56 else 4096
+  in
+  let dirty_max_blocks = dirty_min_blocks * 4 in
+  let extent_cache_limit =
+    if Det_random.int rng 4 = 0 then 16 + Det_random.int rng 112
+    else Ccpfs.Config.default.extent_cache_limit
+  in
+  let tie_random = Det_random.bool rng in
+  let jitter =
+    if Det_random.int rng 3 = 0 then Det_random.float rng (2. *. params.rtt)
+    else 0.
+  in
+  let n_phases = 1 + Det_random.int rng 3 in
+  let phases = ref [] in
+  for _ = 1 to n_phases do
+    let ops, crash = gen_phase rng ~n_clients in
+    let crash_server =
+      if crash then Some (Det_random.int rng n_servers) else None
+    in
+    phases := { Case.ops; crash_server } :: !phases
+  done;
+  {
+    Case.seed;
+    params;
+    kind =
+      Case.Sim
+        {
+          policy_idx;
+          n_servers;
+          n_clients;
+          stripes;
+          stripe_blocks;
+          dirty_min_blocks;
+          dirty_max_blocks;
+          extent_cache_limit;
+          tie_random;
+          jitter;
+          phases = List.rev !phases;
+        };
+  }
+
+(* An Eq. (1) differential case.  D is fixed at 1 MiB and RTT derived so
+   the flush term ③ dominates by 25x — where the closed form is an
+   accurate model of the simulated serialization (§II-C); unmodeled
+   per-client costs (initial grants, control messages) stay within the
+   checker's tolerance. *)
+let gen_analytic seed rng =
+  let b_net = 2e9 +. Det_random.float rng 1.05e10 in
+  let b_disk = 5e8 +. Det_random.float rng 4.5e9 in
+  let b_flush = b_net *. b_disk /. (b_net +. b_disk) in
+  let d = Units.mib in
+  let rtt = float_of_int d /. (25. *. b_flush) in
+  let server_ops = 1e5 +. Det_random.float rng 9e5 in
+  let a_clients = 2 + Det_random.int rng 7 in
+  {
+    Case.seed;
+    params =
+      {
+        Netsim.Params.rtt;
+        b_net;
+        server_ops;
+        b_disk;
+        b_mem = infinity;
+        ctl_msg_bytes = 128;
+        bulk_threshold = 16 * 1024;
+        client_io_overhead = 0.;
+      };
+    kind = Case.Analytic { a_clients; a_bytes = d };
+  }
+
+let of_seed seed =
+  let rng = Det_random.create ~seed in
+  if Det_random.int rng 20 = 0 then gen_analytic seed rng
+  else gen_sim seed rng

@@ -1,0 +1,19 @@
+(** The case generator: one integer seed -> one {!Case.t}.
+
+    Every choice draws from a {!Ccpfs_util.Det_random} stream created
+    from the seed, in a fixed order, so [of_seed n] is a pure function —
+    the property the whole replay story ([ccpfs_run fuzz --seed n],
+    [CCPFS_SEED]) rests on.
+
+    Roughly 1 in 20 cases is an {!Case.Analytic} differential check
+    against Eq. (1); the rest are randomized cluster runs whose op
+    streams start from the IOR shared-file patterns of {!Workloads.Ior}
+    (segmented / strided) and then mix in random reads, writes, appends
+    and truncates, random tight cache limits (to exercise voluntary
+    flushing), random event jitter and tie-breaking (legal
+    nondeterminism), and random lock-server crash+recovery points. *)
+
+val of_seed : int -> Case.t
+
+val max_block : int
+(** Upper bound (pages) on any generated offset; bounds the shadow file. *)

@@ -1,0 +1,17 @@
+let env_var = "CCPFS_SEED"
+let default = 0x5eed
+
+let base () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          invalid_arg (Printf.sprintf "%s=%S is not an integer" env_var s))
+
+let from_env () =
+  match Sys.getenv_opt env_var with None | Some "" -> false | Some _ -> true
+
+let label name = Printf.sprintf "%s [%s=%d]" name env_var (base ())
+let rand_state () = Random.State.make [| base (); 0x51a7e |]

@@ -1,0 +1,26 @@
+(** Base-seed plumbing shared by the fuzzer and every randomized test.
+
+    All stochastic choices in the test suite derive from one base seed so
+    a CI failure is replayable locally: set the [CCPFS_SEED] environment
+    variable (or pass [ccpfs_run fuzz --seed]) to the seed a failure
+    message printed. *)
+
+val env_var : string
+(** ["CCPFS_SEED"]. *)
+
+val default : int
+
+val base : unit -> int
+(** [CCPFS_SEED] if set, {!default} otherwise.
+    @raise Invalid_argument if the variable is set but not an integer. *)
+
+val from_env : unit -> bool
+(** Whether [CCPFS_SEED] overrides the default. *)
+
+val label : string -> string
+(** [label name] is ["name [CCPFS_SEED=<base>]"] — test-case names carry
+    the active seed, so every failure message prints it. *)
+
+val rand_state : unit -> Random.State.t
+(** A [Random.State.t] derived from {!base}, for QCheck's
+    [to_alcotest ~rand]. *)

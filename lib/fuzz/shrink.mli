@@ -1,0 +1,20 @@
+(** Greedy case minimizer.
+
+    Given a failing case, repeatedly tries structural simplifications —
+    drop a phase, drop a client, drop halves then single ops, remove
+    crash faults, collapse to one stripe/server, switch off the random
+    jitter and tie-breaking, relax the tight cache limits — re-running
+    the case after each edit and keeping any edit that still fails
+    (with {e any} failure, not necessarily the original one: a simpler
+    reproducer for a different symptom of the same run is still a better
+    reproducer).  Iterates to a fixpoint or until the re-run budget is
+    exhausted. *)
+
+val candidates : Case.t -> Case.t list
+(** One round of simplification attempts, most aggressive first. *)
+
+val minimize :
+  ?inject:Exec.inject -> ?budget:int -> Case.t -> string ->
+  Case.t * string * int
+(** [minimize case reason] is [(smallest, its_reason, reruns)].
+    [budget] (default 150) bounds the number of re-executions. *)

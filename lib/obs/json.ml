@@ -219,6 +219,8 @@ let parse_exn s =
           let rec fields () =
             skip_ws ();
             let k = parse_string () in
+            if List.mem_assoc k !kvs then
+              error (Printf.sprintf "duplicate object key %S" k);
             skip_ws ();
             expect ':';
             let v = parse_value () in

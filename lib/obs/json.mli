@@ -25,9 +25,11 @@ val to_file : string -> t -> unit
 (** Write [to_string] plus a trailing newline to a fresh file. *)
 
 val parse : string -> (t, string) result
-(** Strict parse of a complete JSON document (trailing garbage is an
-    error).  Numbers with a fraction or exponent come back as [Float],
-    others as [Int].  Error strings carry the byte offset. *)
+(** Strict parse of a complete JSON document (trailing garbage and
+    duplicate object keys are errors — this parser only ever reads this
+    serializer's output, where a repeated key means a writer bug).
+    Numbers with a fraction or exponent come back as [Float], others as
+    [Int].  Error strings carry the byte offset. *)
 
 val parse_exn : string -> t
 (** @raise Failure on parse error. *)

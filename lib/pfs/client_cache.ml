@@ -22,6 +22,8 @@ type t = {
   mutable flushed_bytes : int;
   mutable n_flush_rpcs : int;
   mutable audit : (rid:int -> unit) option;
+  mutable write_obs :
+    (rid:int -> range:Interval.t -> sn:int -> op:int -> unit) option;
 }
 
 let rid_map t rid =
@@ -148,6 +150,7 @@ let create eng params config ~node ~client_id ~io_route =
       flushed_bytes = 0;
       n_flush_rpcs = 0;
       audit = None;
+      write_obs = None;
     }
   in
   Engine.spawn eng ~daemon:true
@@ -181,6 +184,7 @@ let write t ~rid ~range ~sn ~op =
   | Some _ | None -> ());
   account t (Interval.length range - covered);
   Condition.broadcast t.work;
+  (match t.write_obs with Some f -> f ~rid ~range ~sn ~op | None -> ());
   match t.audit with Some f -> f ~rid | None -> ()
 
 let has_dirty t ~rid ~ranges =
@@ -265,6 +269,7 @@ let dirty_view t =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let set_audit t f = t.audit <- Some f
+let set_write_observer t f = t.write_obs <- Some f
 let client_id t = t.client_id
 let clean_bytes t = t.clean_total
 let read_cache_hits t = t.r_hits

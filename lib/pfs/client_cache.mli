@@ -95,4 +95,12 @@ val set_audit : t -> (rid:int -> unit) -> unit
 (** Install a callback invoked after every dirty-cache mutation by
     [write], with the stripe that changed. *)
 
+val set_write_observer :
+  t -> (rid:int -> range:Ccpfs_util.Interval.t -> sn:int -> op:int -> unit) ->
+  unit
+(** Install a callback invoked on every dirty insert with the written
+    object range and its provenance (the lock's SN and the writer's op
+    counter) — the fuzzer's journal of what was semantically written,
+    independent of when it is flushed. *)
+
 val client_id : t -> int

@@ -26,10 +26,17 @@ type stats = {
   mutable cache_peak : int;
 }
 
+(* The extent cache orders bytes by (SN, op): the SN decides between
+   conflicting locks, and the writer's per-client op counter breaks the
+   tie between writes performed under the *same* (cached) lock — a lock
+   reused across ops keeps one SN, and a re-flush of a later overwrite
+   must still beat the voluntarily flushed earlier version.  SN
+   uniqueness across clients (a lock-server invariant) makes the op
+   comparison well-defined: equal SNs always belong to one client. *)
 type stripe = {
-  mutable cache : int Extent_map.t; (* extent cache: range -> max SN *)
+  mutable cache : (int * int) Extent_map.t; (* range -> max (SN, op) *)
   mutable store : Content.t; (* device contents *)
-  mutable log : (Interval.t * int) list; (* extent log, newest first *)
+  mutable log : (Interval.t * int * int) list; (* extent log, newest first *)
   mutable coalesced_at : int;
       (* cache cardinality after the last coalescing pass; same-SN
          neighbour merging is amortised rather than per-block *)
@@ -46,6 +53,8 @@ type t = {
   stats : stats;
   mutable ep : (io_req, io_resp) Rpc.endpoint option;
   mutable cleaning : bool;
+  mutable drop_every : int; (* injected fault: 0 = off *)
+  mutable blocks_seen : int;
 }
 
 let stripe t rid =
@@ -62,24 +71,27 @@ let stripe t rid =
 let total_cache_entries t =
   Hashtbl.fold (fun _ s acc -> acc + Extent_map.cardinal s.cache) t.stripes 0
 
+let pair_eq (a : int * int) (b : int * int) = a = b
+
 (* Fig. 15 steps ①-④ for one incoming block. *)
 let apply_block t st (b : block) =
+  let key = (b.b_sn, b.b_tag.Content.op) in
   let cache, update_set =
-    Extent_map.merge st.cache b.b_range b.b_sn ~keep_new:(fun ~old ->
-        b.b_sn > old)
+    Extent_map.merge st.cache b.b_range key ~keep_new:(fun ~old -> key > old)
   in
   st.cache <- cache;
   (* Merge continuous same-SN extents (Fig. 15), amortised: a full pass
      only once the cache has grown 25% past its last coalesced size. *)
   if Extent_map.cardinal st.cache > (st.coalesced_at * 5 / 4) + 16 then begin
-    st.cache <- Extent_map.coalesce ~eq:Int.equal st.cache;
+    st.cache <- Extent_map.coalesce ~eq:pair_eq st.cache;
     st.coalesced_at <- Extent_map.cardinal st.cache
   end;
   let written =
     List.fold_left
       (fun acc seg ->
         st.store <- Content.write st.store seg b.b_tag;
-        if t.config.Config.extent_log then st.log <- (seg, b.b_sn) :: st.log;
+        if t.config.Config.extent_log then
+          st.log <- (seg, b.b_sn, b.b_tag.Content.op) :: st.log;
         acc + Interval.length seg)
       0 update_set
   in
@@ -133,7 +145,12 @@ let handle t req ~reply =
       t.stats.flush_rpcs <- t.stats.flush_rpcs + 1;
       t.stats.blocks_in <- t.stats.blocks_in + List.length blocks;
       let written =
-        List.fold_left (fun acc b -> acc + apply_block t st b) 0 blocks
+        List.fold_left
+          (fun acc b ->
+            t.blocks_seen <- t.blocks_seen + 1;
+            if t.drop_every > 0 && t.blocks_seen mod t.drop_every = 0 then acc
+            else acc + apply_block t st b)
+          0 blocks
       in
       let entries = total_cache_entries t in
       if entries > t.stats.cache_peak then t.stats.cache_peak <- entries;
@@ -185,7 +202,7 @@ let cleanup_round t =
       if !budget > 0 then begin
         let examined = ref [] in
         Extent_map.iter
-          (fun iv sn ->
+          (fun iv (sn, _op) ->
             if !budget > 0 then begin
               decr budget;
               let reclaimable =
@@ -258,6 +275,8 @@ let create eng params config ~node ~name ~lock_server =
         };
       ep = None;
       cleaning = false;
+      drop_every = 0;
+      blocks_seen = 0;
     }
   in
   t.ep <-
@@ -271,28 +290,32 @@ let endpoint t = Option.get t.ep
 let contents t rid = (stripe t rid).store
 let extent_cache_entries t = total_cache_entries t
 
-let extent_cache_of t rid = Extent_map.to_list (stripe t rid).cache
+let extent_cache_of t rid =
+  List.map (fun (iv, (sn, _op)) -> (iv, sn))
+    (Extent_map.to_list (stripe t rid).cache)
 
-let rebuild_extent_cache_from_log t rid =
+let rebuild_pairs t rid =
   if not t.config.Config.extent_log then
     invalid_arg (t.name ^ ": extent log disabled");
   let st = stripe t rid in
   let rebuilt =
     List.fold_left
-      (fun m (iv, sn) ->
-        fst (Extent_map.merge m iv sn ~keep_new:(fun ~old -> sn > old)))
+      (fun m (iv, sn, op) ->
+        fst (Extent_map.merge m iv (sn, op) ~keep_new:(fun ~old -> (sn, op) > old)))
       Extent_map.empty (List.rev st.log)
   in
-  Extent_map.to_list (Extent_map.coalesce ~eq:Int.equal rebuilt)
+  Extent_map.coalesce ~eq:pair_eq rebuilt
+
+let rebuild_extent_cache_from_log t rid =
+  List.map (fun (iv, (sn, _op)) -> (iv, sn))
+    (Extent_map.to_list (rebuild_pairs t rid))
 
 let crash_and_rebuild t =
   if not t.config.Config.extent_log then
     invalid_arg (t.name ^ ": recovery needs the extent log");
   Hashtbl.iter
     (fun rid st ->
-      st.cache <-
-        Extent_map.of_list
-          (List.map (fun (iv, sn) -> (iv, sn)) (rebuild_extent_cache_from_log t rid));
+      st.cache <- rebuild_pairs t rid;
       st.coalesced_at <- Extent_map.cardinal st.cache)
     t.stripes
 
@@ -301,7 +324,7 @@ let max_logged_sn t rid =
   | None -> None
   | Some st ->
       List.fold_left
-        (fun acc (_, sn) ->
+        (fun acc (_, sn, _) ->
           match acc with
           | None -> Some sn
           | Some m -> Some (max m sn))
@@ -313,6 +336,10 @@ let stripe_rids t =
 
 let stats t = t.stats
 let node t = t.node
+
+let inject_drop_block t ~every =
+  if every <= 0 then invalid_arg (t.name ^ ": inject_drop_block: every <= 0");
+  t.drop_every <- every
 
 let io_resp_to_string = function
   | Done -> "Done"

@@ -1,10 +1,13 @@
 (** The IO service of a ccPFS data server (§IV-B, Fig. 15).
 
     Flush RPCs carry SN-tagged blocks that may arrive out of order across
-    conflicting locks.  The server merges each block's SN into the
-    per-stripe extent cache keeping the larger SN per byte; the parts
-    where the incoming SN won (the update set) are written to the device
-    and applied to stripe contents, the rest is discarded.  Optionally
+    conflicting locks.  The server merges each block into the per-stripe
+    extent cache keeping the larger (SN, writer-op) per byte — the SN
+    orders conflicting locks, the writer's op counter orders successive
+    writes under one cached (reused) lock, e.g. a voluntary daemon flush
+    followed by an overwrite and a re-flush with the same SN; the parts
+    where the incoming block won (the update set) are written to the
+    device and applied to stripe contents, the rest is discarded.  Optionally
     every update-set entry is appended to a per-stripe extent log so the
     cache can be rebuilt on recovery.
 
@@ -84,6 +87,11 @@ type stats = {
 
 val stats : t -> stats
 val node : t -> Netsim.Node.t
+
+val inject_drop_block : t -> every:int -> unit
+(** Fault injection for the fuzzer's oracle tests only: silently discard
+    every [every]-th incoming flush block (a lost device write).  The
+    shadow-file oracle must catch the resulting divergence. *)
 
 val io_resp_to_string : io_resp -> string
 (** Short rendering for diagnostics: ["Done"], ["Data(4 segments)"]. *)

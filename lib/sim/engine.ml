@@ -100,6 +100,7 @@ type t = {
   mutable blocked_procs : proc list; (* all procs currently suspended *)
   mutable fp : int64;
   mutable tie_chooser : (int -> int) option;
+  mutable jitter : (unit -> float) option;
   mutable sink : Obs.Trace.sink; (* Trace.null unless a run is traced *)
   metrics : Obs.Metrics.t; (* per-engine registry, starts disabled *)
 }
@@ -127,7 +128,7 @@ let fnv_string h s =
 let create () =
   { now = 0.; seq = 0; heap = Heap.create (); current = None; live = 0;
     regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = [];
-    fp = fnv_offset; tie_chooser = None; sink = Obs.Trace.null;
+    fp = fnv_offset; tie_chooser = None; jitter = None; sink = Obs.Trace.null;
     metrics = Obs.Metrics.create () }
 
 let now t = t.now
@@ -136,14 +137,39 @@ let events_dispatched t = t.dispatched
 let fingerprint t = t.fp
 let set_tie_chooser t f = t.tie_chooser <- Some f
 let clear_tie_chooser t = t.tie_chooser <- None
+let set_event_jitter t f = t.jitter <- Some f
+let clear_event_jitter t = t.jitter <- None
+
+let seed_nondeterminism ?(max_jitter = 0.) ~seed t =
+  let rng = Ccpfs_util.Det_random.create ~seed in
+  let tie_rng = Ccpfs_util.Det_random.split rng in
+  set_tie_chooser t (fun n -> Ccpfs_util.Det_random.int tie_rng n);
+  if max_jitter > 0. then begin
+    let jitter_rng = Ccpfs_util.Det_random.split rng in
+    set_event_jitter t (fun () ->
+        Ccpfs_util.Det_random.float jitter_rng max_jitter)
+  end
 let trace_sink t = t.sink
 let set_trace_sink t sink = t.sink <- sink
 let metrics t = t.metrics
 let current_pid t = match t.current with Some p -> p.pid | None -> 0
 let current_name t = Option.map (fun p -> p.name) t.current
 
+(* Every freshly scheduled event passes through the jitter hook (legal-
+   delivery perturbation: any event may run later than asked, never
+   earlier).  The tie chooser's re-push path in [pop_next] uses
+   [Heap.push] directly, so deferred ties are not jittered twice. *)
 let push_event t ~time ~proc thunk =
   t.seq <- t.seq + 1;
+  let time =
+    match t.jitter with
+    | None -> time
+    | Some f ->
+        let d = f () in
+        if d < 0. || not (Float.is_finite d) then
+          invalid_arg "Engine: jitter hook returned a negative or NaN delay";
+        time +. d
+  in
   Heap.push t.heap { time; seq = t.seq; proc; thunk }
 
 let schedule t ?(delay = 0.) thunk =

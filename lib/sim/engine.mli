@@ -101,6 +101,28 @@ val set_tie_chooser : t -> (int -> int) -> unit
 
 val clear_tie_chooser : t -> unit
 
+val set_event_jitter : t -> (unit -> float) -> unit
+(** [set_event_jitter t f] delays every subsequently scheduled event by
+    [f ()] seconds (must be >= 0 and finite).  Because every blocking
+    primitive re-checks its condition on wake-up and RPC transports only
+    promise "at least" their service times, a non-negative delay is a
+    legal delivery perturbation: it reorders message arrivals and daemon
+    wake-ups within the protocol's allowed nondeterminism.  With a
+    deterministic (seeded) [f], jittered runs stay reproducible
+    event-for-event.  Events deferred by the tie chooser are not
+    re-jittered. *)
+
+val clear_event_jitter : t -> unit
+
+val seed_nondeterminism : ?max_jitter:float -> seed:int -> t -> unit
+(** Install the fuzzer's legal-nondeterminism levers, all drawn from one
+    deterministic stream: a seeded random tie chooser (same-timestamp
+    arrivals dispatch in random order), and — when [max_jitter > 0] — a
+    seeded event jitter uniform in [0, max_jitter).  Two engines seeded
+    identically and running the same scenario produce identical event
+    streams (equal {!fingerprint}s); different seeds explore different
+    schedules. *)
+
 val blocked_report : t -> blocked_proc list
 (** The processes currently suspended, in pid order (what {!Deadlock}
     would carry if the queue drained now).  If a process body raised, the

@@ -73,6 +73,7 @@ let suite =
         Alcotest.test_case "exact ~ approx at large N" `Quick
           test_exact_vs_approx;
         Alcotest.test_case "no-flush bound" `Quick test_no_flush_bound;
-        QCheck_alcotest.to_alcotest prop_bandwidth_positive_bounded;
+        QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ())
+          prop_bandwidth_positive_bounded;
       ] );
   ]

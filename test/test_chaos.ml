@@ -1,135 +1,49 @@
-(* Randomised end-to-end coherence: arbitrary mixes of writes, reads and
-   appends from several clients, over random stripe counts, under every
-   DLM policy.  Whatever the interleaving, the run must terminate, keep
-   the lock-server invariants, leave all clients agreeing on the file's
-   contents, and every surviving byte must trace back to an operation
-   that was actually issued. *)
+(* Randomised end-to-end coherence, driven by the simulation fuzzer:
+   QCheck picks case seeds, [Fuzz.Gen] derives a random cluster
+   (policies, striping, cache limits, event jitter, crash schedules) and
+   workload, and [Fuzz.Exec] runs it twice under the full oracle stack —
+   protocol invariants, determinism fingerprints, the byte-exact
+   shadow-file model and the Eq. (1) differential check.  This subsumes
+   the old hand-rolled chaos harness (checksum agreement across clients
+   is implied by byte-exact device contents): any interleaving must
+   terminate and explain every surviving byte.
 
-open Ccpfs_util
-open Ccpfs
+   The QCheck stream is seeded from CCPFS_SEED (see [Fuzz.Seed]), and
+   every failure message prints the case seed, so a CI hit is replayed
+   with `ccpfs_run fuzz --seed N --shrink`. *)
 
-let params =
-  {
-    Netsim.Params.rtt = 1e-4;
-    b_net = 1e9;
-    server_ops = 10_000.;
-    b_disk = 5e8;
-    b_mem = 2e9;
-    ctl_msg_bytes = 128;
-    bulk_threshold = 16 * 1024;
-    client_io_overhead = 0.;
-  }
-
-type op = Write of int * int | Read of int * int | Append of int
-
-let print_op = function
-  | Write (off, len) -> Printf.sprintf "w[%d,+%d)" off len
-  | Read (off, len) -> Printf.sprintf "r[%d,+%d)" off len
-  | Append len -> Printf.sprintf "a+%d" len
-
-type scenario = {
-  policy_idx : int;
-  stripes : int;
-  per_client : op list list; (* one op list per client *)
-}
-
-let gen_scenario =
-  let open QCheck.Gen in
-  let block = 4096 in
-  let op =
-    frequency
-      [
-        (6, map2 (fun b n -> Write (b * block, n * block)) (int_bound 24)
-             (int_range 1 6));
-        (2, map2 (fun b n -> Read (b * block, n * block)) (int_bound 24)
-             (int_range 1 6));
-        (1, map (fun n -> Append (n * block)) (int_range 1 3));
-      ]
-  in
-  let client_ops = list_size (int_range 1 8) op in
-  map3
-    (fun policy_idx stripes per_client -> { policy_idx; stripes; per_client })
-    (int_bound 3) (oneofl [ 1; 2; 4 ])
-    (list_size (int_range 2 4) client_ops)
-
-let print_scenario s =
-  Printf.sprintf "policy=%d stripes=%d %s" s.policy_idx s.stripes
-    (String.concat " | "
-       (List.map (fun ops -> String.concat "," (List.map print_op ops))
-          s.per_client))
-
-let run_once s =
-  let policy = List.nth Seqdlm.Policy.all s.policy_idx in
-  (* Datatype locking only differs for multi-range writes; it still must
-     pass this single-range workload. *)
-  let n = List.length s.per_client in
-  let cl =
-    Cluster.create ~params
-      ~config:
-        (Config.with_dirty_limits ~dirty_min:(4 * Units.mib)
-           ~dirty_max:(16 * Units.mib) Config.default)
-      ~policy ~n_servers:(min 2 s.stripes) ~n_clients:n ()
-  in
-  if Check.Sanitize.enabled () then Check.Sanitize.attach_cluster cl;
-  let issued = Hashtbl.create 64 in
-  List.iteri
-    (fun i ops ->
-      Cluster.spawn_client cl i ~name:(Printf.sprintf "chaos%d" i) (fun c ->
-          let layout =
-            Layout.v ~stripe_size:(16 * 4096) ~stripe_count:s.stripes ()
-          in
-          let f = Client.open_file c ~create:true ~layout "/chaos" in
-          List.iter
-            (fun op ->
-              match op with
-              | Write (off, len) ->
-                  Client.write c f ~off ~len;
-                  Hashtbl.replace issued (i, Client.ops c) ()
-              | Read (off, len) -> ignore (Client.read c f ~off ~len)
-              | Append len ->
-                  ignore (Client.append c f ~len);
-                  Hashtbl.replace issued (i, Client.ops c) ())
-            ops))
-    s.per_client;
-  Check.Sanitize.run_cluster cl;
-  Cluster.check_invariants cl;
-  (* Barrier passed: everyone reads everything and must agree. *)
-  let extent = 40 * 4096 in
-  let sums = Array.make n 0 in
-  let provenance_ok = ref true in
-  for i = 0 to n - 1 do
-    Cluster.spawn_client cl i ~name:(Printf.sprintf "check%d" i) (fun c ->
-        let f = Client.open_file c "/chaos" in
-        sums.(i) <- Client.read_checksum c f ~off:0 ~len:extent;
-        Client.read c f ~off:0 ~len:extent
-        |> List.iter (fun (_, _, tag) ->
-               match tag with
-               | Some (t : Content.tag) ->
-                   if not (Hashtbl.mem issued (t.Content.writer, t.Content.op))
-                   then provenance_ok := false
-               | None -> ()))
-  done;
-  Check.Sanitize.run_cluster cl;
-  Cluster.check_invariants cl;
-  if Check.Sanitize.enabled () then Check.Sanitize.check_cluster cl;
-  (cl, Array.for_all (fun x -> x = sums.(0)) sums && !provenance_ok)
-
-let run_scenario s =
-  if Check.Sanitize.determinism_enabled () then begin
-    let ok = ref true in
-    ignore
-      (Check.Determinism.check ~name:(print_scenario s) (fun () ->
-           let cl, passed = run_once s in
-           ok := !ok && passed;
-           Cluster.engine cl));
-    !ok
-  end
-  else snd (run_once s)
+let print_seed s = Fuzz.Case.summary (Fuzz.Gen.of_seed s)
 
 let prop_chaos =
-  QCheck.Test.make ~name:"chaos: coherent, live and provenance-clean" ~count:60
-    (QCheck.make ~print:print_scenario gen_scenario)
-    run_scenario
+  QCheck.Test.make
+    ~name:"chaos: random cluster runs pass invariants, determinism and oracles"
+    ~count:40
+    (QCheck.make ~print:print_seed QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      match Fuzz.Exec.catch (Fuzz.Gen.of_seed seed) with
+      | Ok _ -> true
+      | Error reason ->
+          QCheck.Test.fail_reportf
+            "seed %d: %s@.replay: ccpfs_run fuzz --seed %d --shrink" seed
+            reason seed)
+
+(* A handful of pinned seeds so the deterministic corpus is exercised
+   even when the QCheck stream moves (e.g. under a CCPFS_SEED override). *)
+let test_fixed_seeds () =
+  List.iter
+    (fun seed ->
+      match Fuzz.Exec.catch (Fuzz.Gen.of_seed seed) with
+      | Ok _ -> ()
+      | Error reason ->
+          Alcotest.fail (Printf.sprintf "seed %d: %s" seed reason))
+    [ 0; 1; 7; 42; 1234; 99991 ]
 
 let suite =
-  [ ("pfs.chaos", [ QCheck_alcotest.to_alcotest ~long:false prop_chaos ]) ]
+  [
+    ( "pfs.chaos",
+      [
+        Alcotest.test_case "fixed corpus seeds" `Quick test_fixed_seeds;
+        QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ()) ~long:false
+          prop_chaos;
+      ] );
+  ]

@@ -801,8 +801,39 @@ let prop_grant_contract =
       Lock_server.check_invariants w.server;
       !ok)
 
+(* Compatibility vs the independent Table II transcription, plus the
+   structural symmetry the paper's table implies: in the GRANTED state
+   compatibility is an undirected relation (only PR/PR is true), so
+   req/granted must commute.  The CANCELING column is deliberately
+   asymmetric — NBW requests overlap a canceling holder's flush (early
+   grant, Fig. 6) while the converse does not — so the symmetry claim is
+   scoped to GRANTED and the oracle check covers both states. *)
+let prop_lcm_table2_symmetry =
+  let open QCheck in
+  let gen = Gen.(pair (oneofl all_modes) (oneofl all_modes)) in
+  Test.make ~name:"Table II: granted-state symmetry, both states match oracle"
+    ~count:100
+    (make
+       ~print:(fun (a, b) ->
+         Printf.sprintf "req=%s granted=%s" (Mode.to_string a)
+           (Mode.to_string b))
+       gen)
+    (fun (a, b) ->
+      let symmetric =
+        Lcm.compatible ~req:a ~granted:b ~state:Lcm.Granted
+        = Lcm.compatible ~req:b ~granted:a ~state:Lcm.Granted
+      in
+      let matches_oracle =
+        List.for_all
+          (fun state ->
+            Lcm.compatible ~req:a ~granted:b ~state
+            = Check.Lcm_oracle.compatible ~req:a ~granted:b ~state)
+          [ Lcm.Granted; Lcm.Canceling ]
+      in
+      symmetric && matches_oracle)
+
 let suite =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ()) in
   [
     ( "dlm.mode",
       [
@@ -820,6 +851,7 @@ let suite =
           test_lcm_golden_table;
         Alcotest.test_case "ranges_overlap" `Quick test_ranges_overlap;
         Alcotest.test_case "normalize_ranges" `Quick test_normalize_ranges;
+        q prop_lcm_table2_symmetry;
       ] );
     ( "dlm.protocol",
       [

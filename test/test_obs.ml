@@ -169,6 +169,100 @@ let test_json_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated document must not parse"
 
+(* Parser error paths: every rejection must be an [Error], never an
+   exception or a silently wrong value. *)
+let test_json_error_paths () =
+  let rejects label input =
+    match Json.parse input with
+    | Error _ -> ()
+    | Ok v ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %S parsed to %s" label input (Json.to_string v))
+  in
+  rejects "empty input" "";
+  rejects "truncated object" "{\"a\": {\"b\": 1";
+  rejects "truncated list" "[1, 2,";
+  rejects "truncated string" "\"abc";
+  rejects "truncated literal" "tru";
+  rejects "truncated unicode escape" "\"\\u00";
+  rejects "short unicode escape" "\"\\u12\"";
+  rejects "bad escape" "\"\\q\"";
+  rejects "bare control char in string" "\"a\nb\"";
+  rejects "lone minus" "-";
+  rejects "missing colon" "{\"a\" 1}";
+  rejects "missing comma" "[1 2]";
+  rejects "duplicate object keys" "{\"a\": 1, \"a\": 2}";
+  (* The accepted forms next door must stay accepted. *)
+  (match Json.parse "{\"a\": 1, \"b\": 2}" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("distinct keys must parse: " ^ e));
+  match Json.parse "\"\\u0041\\\\\\n\"" with
+  | Ok (Json.Str "A\\\n") -> ()
+  | Ok v -> Alcotest.fail ("escapes decoded wrong: " ^ Json.to_string v)
+  | Error e -> Alcotest.fail ("valid escapes must parse: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Results accumulator                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_rows path =
+  let doc = Json.parse_exn (In_channel.with_open_text path In_channel.input_all) in
+  Json.get_list (Option.get (Json.member "results" doc))
+
+let with_temp_results f =
+  let path = Filename.temp_file "ccpfs_results" ".json" in
+  Results.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Results.clear ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let row k = Json.Obj [ ("k", Json.Int k) ]
+
+let test_results_append_keeps_rows () =
+  with_temp_results (fun path ->
+      Results.add (row 1);
+      Alcotest.(check int) "first write" 1
+        (Results.write ~schema:"ccpfs.test/1" ~path ());
+      Alcotest.(check int) "accumulator cleared" 0 (Results.count ());
+      Results.add (row 2);
+      Results.add (row 3);
+      Alcotest.(check int) "append reports the total" 3
+        (Results.write ~append:true ~schema:"ccpfs.test/1" ~path ());
+      Alcotest.(check (list (option int)))
+        "prior rows first, new rows after"
+        [ Some 1; Some 2; Some 3 ]
+        (List.map
+           (fun r -> Option.bind (Json.member "k" r) Json.get_int)
+           (read_rows path)))
+
+let test_results_append_schema_mismatch () =
+  with_temp_results (fun path ->
+      Results.add (row 1);
+      ignore (Results.write ~schema:"ccpfs.old/1" ~path ());
+      Results.add (row 2);
+      Alcotest.(check int) "different schema: overwritten, not merged" 1
+        (Results.write ~append:true ~schema:"ccpfs.new/1" ~path ());
+      Alcotest.(check (list (option int)))
+        "only the new row survives" [ Some 2 ]
+        (List.map
+           (fun r -> Option.bind (Json.member "k" r) Json.get_int)
+           (read_rows path)))
+
+let test_results_append_unparsable_file () =
+  with_temp_results (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "{not json");
+      Results.add (row 7);
+      Alcotest.(check int) "unparsable file: overwritten" 1
+        (Results.write ~append:true ~schema:"ccpfs.test/1" ~path ());
+      Alcotest.(check (list (option int)))
+        "fresh document" [ Some 7 ]
+        (List.map
+           (fun r -> Option.bind (Json.member "k" r) Json.get_int)
+           (read_rows path)))
+
 (* ------------------------------------------------------------------ *)
 (* Hub                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -262,6 +356,14 @@ let suite =
         Alcotest.test_case "trace JSON shape" `Quick test_trace_json_shape;
         Alcotest.test_case "JSON round-trip + strictness" `Quick
           test_json_roundtrip;
+        Alcotest.test_case "JSON parser error paths" `Quick
+          test_json_error_paths;
+        Alcotest.test_case "results append keeps prior rows" `Quick
+          test_results_append_keeps_rows;
+        Alcotest.test_case "results append, schema mismatch" `Quick
+          test_results_append_schema_mismatch;
+        Alcotest.test_case "results append, unparsable file" `Quick
+          test_results_append_unparsable_file;
         Alcotest.test_case "hub plumbing" `Quick test_hub_plumbing;
         Alcotest.test_case "golden traced cluster run" `Quick
           test_cluster_trace_golden;

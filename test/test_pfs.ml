@@ -86,6 +86,66 @@ let prop_layout_partition =
       in
       total = len && inverse_ok)
 
+(* Per-byte bijection: with tiny stripes, walk every byte of a random
+   range — each file byte must map to exactly one (stripe, object) byte,
+   no two file bytes may collide on the same object byte, and
+   [file_offset] must invert the map exactly. *)
+let prop_layout_byte_bijection =
+  let open QCheck in
+  Test.make ~name:"stripe map is a per-byte bijection" ~count:300
+    (make
+       ~print:(fun ((sc, ss), (lo, len)) ->
+         Printf.sprintf "sc=%d ss=%d lo=%d len=%d" sc ss lo len)
+       Gen.(
+         pair
+           (pair (int_range 1 5) (int_range 1 7))
+           (pair (int_bound 200) (int_range 1 64))))
+    (fun ((stripe_count, stripe_size), (lo, len)) ->
+      let l = Layout.v ~stripe_size ~stripe_count () in
+      let seen = Hashtbl.create 64 in
+      for f = lo to lo + len - 1 do
+        (match Layout.chunks l (iv f (f + 1)) with
+        | [ (stripe, (r : Interval.t)) ] when Interval.length r = 1 ->
+            let key = (stripe, r.lo) in
+            (match Hashtbl.find_opt seen key with
+            | Some f' ->
+                Test.fail_reportf
+                  "file bytes %d and %d both land on stripe %d object byte %d"
+                  f' f stripe r.lo
+            | None -> Hashtbl.add seen key f);
+            let back = Layout.file_offset l ~stripe r.lo in
+            if back <> f then
+              Test.fail_reportf
+                "file_offset ~stripe:%d %d = %d, expected %d" stripe r.lo back
+                f
+        | _ -> Test.fail_reportf "file byte %d maps to %s" f "not exactly one object byte");
+      done;
+      Hashtbl.length seen = len)
+
+(* Extents round-trip: decompose a range into per-stripe object extents,
+   map every extent byte back through [file_offset], and the union must
+   reassemble the original range exactly — no loss, no overlap, no
+   spill beyond the ends. *)
+let prop_layout_extents_round_trip =
+  let open QCheck in
+  Test.make ~name:"extents round-trip through file_offset" ~count:300
+    (make
+       ~print:(fun ((sc, ss), (lo, len)) ->
+         Printf.sprintf "sc=%d ss=%d lo=%d len=%d" sc ss lo len)
+       Gen.(
+         pair
+           (pair (int_range 1 6) (int_range 1 9))
+           (pair (int_bound 500) (int_range 1 200))))
+    (fun ((stripe_count, stripe_size), (lo, len)) ->
+      let l = Layout.v ~stripe_size ~stripe_count () in
+      let bytes =
+        Layout.chunks l (iv lo (lo + len))
+        |> List.concat_map (fun (stripe, (r : Interval.t)) ->
+               List.init (Interval.length r) (fun k ->
+                   Layout.file_offset l ~stripe (r.lo + k)))
+      in
+      List.sort_uniq compare bytes = List.init len (fun k -> lo + k))
+
 let test_rid_packing () =
   let rid = Layout.rid ~fid:42 ~stripe:7 in
   Alcotest.(check int) "fid" 42 (Layout.rid_fid rid);
@@ -617,7 +677,12 @@ let suite =
           test_layout_contiguous_merging;
         Alcotest.test_case "unaligned span" `Quick test_layout_unaligned_span;
         Alcotest.test_case "rid packing" `Quick test_rid_packing;
-        QCheck_alcotest.to_alcotest prop_layout_partition;
+        QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ())
+          prop_layout_partition;
+        QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ())
+          prop_layout_byte_bijection;
+        QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ())
+          prop_layout_extents_round_trip;
       ] );
     ( "pfs.endtoend",
       [

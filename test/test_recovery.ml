@@ -148,6 +148,125 @@ let test_crash_refuses_queued_waiters () =
   (* Let the run finish cleanly. *)
   Cluster.run cl
 
+(* Crash while flushed and still-dirty data coexist, end-to-end under
+   the fuzzer's shadow-file oracle.  Tight dirty limits make the
+   voluntary daemon flush part of phase 0 (populating the extent log)
+   while the rest is still dirty in the client caches when the server
+   dies; recovery rebuilds the extent cache from the log and restores
+   the SN floor (Exec raises [recovery-sn-floor] if the rebuilt next_sn
+   is not above every recovered SN), and the pre-crash-SN dirty data
+   that flushes afterwards must still merge into exactly the bytes the
+   shadow file predicts. *)
+let test_crash_with_dirty_cache_flush () =
+  let open Fuzz.Case in
+  let case =
+    {
+      Fuzz.Case.seed = 424242;
+      params;
+      kind =
+        Sim
+          {
+            policy_idx = 0;
+            n_servers = 1;
+            n_clients = 2;
+            stripes = 2;
+            stripe_blocks = 4;
+            dirty_min_blocks = 8;
+            dirty_max_blocks = 32;
+            extent_cache_limit = Config.default.extent_cache_limit;
+            tie_random = false;
+            jitter = 0.;
+            phases =
+              [
+                {
+                  ops =
+                    [|
+                      [
+                        Write { block = 0; blocks = 6 };
+                        Write { block = 8; blocks = 6 };
+                      ];
+                      [ Write { block = 4; blocks = 6 } ];
+                    |];
+                  crash_server = Some 0;
+                };
+                {
+                  ops =
+                    [| [ Write { block = 2; blocks = 4 } ]; [ Append { blocks = 2 } ] |];
+                  crash_server = None;
+                };
+              ];
+          };
+    }
+  in
+  let o = Fuzz.Exec.run case in
+  Alcotest.(check string) "shadow file agrees byte-for-byte" "shadow" o.oracle;
+  Alcotest.(check bool) "ops actually ran" true (o.ops > 0)
+
+(* Queue contention, then recovery: a waiter sits in the lock-server
+   queue behind a revocation mid-run; once the run drains, the server
+   crashes and recovers, and the rebuilt SN counter must sit strictly
+   above everything recovered — both the extent log's high-water mark
+   and every grant the clients still cache. *)
+let test_queued_waiters_then_recovery () =
+  let cl = make ~clients:2 in
+  let eng = Cluster.engine cl in
+  Cluster.spawn_client cl 0 ~name:"holder" (fun c ->
+      let f = Client.open_file c ~create:true "/qr" in
+      Client.write ~mode:Seqdlm.Mode.PW c f ~off:0 ~len:(16 * Units.mib));
+  Cluster.spawn_client cl 1 ~name:"waiter" (fun c ->
+      Engine.sleep eng 0.05;
+      let f = Client.open_file c "/qr" in
+      Client.write ~mode:Seqdlm.Mode.PW c f ~off:0 ~len:(16 * Units.mib));
+  let rid = Layout.rid ~fid:1 ~stripe:0 in
+  let ls = Cluster.lock_server cl 0 in
+  (* Pause mid-protocol to prove the queue really formed... *)
+  Cluster.run ~until:0.06 cl;
+  Alcotest.(check bool) "waiter queued mid-run" true
+    (Seqdlm.Lock_server.queue_length ls rid > 0);
+  (* ...then drain it and crash at quiescence. *)
+  Cluster.run cl;
+  Alcotest.(check int) "queue drained" 0
+    (Seqdlm.Lock_server.queue_length ls rid);
+  Cluster.crash_and_recover_server cl 0;
+  let ds = Cluster.data_server cl 0 in
+  let rids =
+    List.sort_uniq compare
+      (Seqdlm.Lock_server.resource_ids ls @ Data_server.stripe_rids ds)
+  in
+  Alcotest.(check bool) "some state recovered" true (rids <> []);
+  List.iter
+    (fun rid ->
+      let next = Seqdlm.Lock_server.next_sn ls rid in
+      let logged =
+        Option.value (Data_server.max_logged_sn ds rid) ~default:0
+      in
+      let reinstalled =
+        List.fold_left
+          (fun m (v : Seqdlm.Lock_server.lock_view) -> max m v.v_sn)
+          0
+          (Seqdlm.Lock_server.granted_locks ls rid)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "rid %d: next_sn %d above recovered max (log %d, \
+                         grants %d)" rid next logged reinstalled)
+        true
+        (next > max logged reinstalled))
+    rids;
+  (* The waiter's dirty data (pre-crash SN) still lands correctly. *)
+  Cluster.fsync_all cl;
+  let file = ref None in
+  Cluster.spawn_client cl 0 ~name:"open" (fun c ->
+      file := Some (Client.open_file c "/qr"));
+  Cluster.run cl;
+  let contents = Cluster.stripe_contents cl (Option.get !file) ~stripe:0 in
+  Alcotest.(check bool) "last writer owns every byte" true
+    (Content.read contents (Interval.v ~lo:0 ~hi:(16 * Units.mib))
+    |> List.for_all (fun (_, tag) ->
+           match tag with
+           | Some (t : Content.tag) -> t.Content.writer = 1
+           | None -> false));
+  Cluster.check_invariants cl
+
 let suite =
   [
     ( "pfs.recovery",
@@ -160,5 +279,9 @@ let suite =
           test_recovery_requires_extent_log;
         Alcotest.test_case "crash refuses queued waiters" `Quick
           test_crash_refuses_queued_waiters;
+        Alcotest.test_case "crash during dirty-cache flush (shadow oracle)"
+          `Quick test_crash_with_dirty_cache_flush;
+        Alcotest.test_case "queued waiters, then recovery restores SN floor"
+          `Quick test_queued_waiters_then_recovery;
       ] );
   ]

@@ -439,7 +439,7 @@ let test_det_random () =
     (Det_random.int s1' 1000)
 
 let suite =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ()) in
   [
     ( "util.interval",
       [

@@ -156,7 +156,8 @@ let suite =
         Alcotest.test_case "segmented offsets" `Quick test_ior_segmented;
         Alcotest.test_case "strided offsets" `Quick test_ior_strided;
         Alcotest.test_case "N-N offsets and files" `Quick test_ior_nn;
-        QCheck_alcotest.to_alcotest prop_ior_disjoint_cover;
+        QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ())
+          prop_ior_disjoint_cover;
       ] );
     ( "workloads.tile_io",
       [
