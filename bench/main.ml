@@ -140,6 +140,84 @@ let bench_mini_cluster =
          Ccpfs.Cluster.run cl;
          Sys.opaque_identity (Ccpfs.Cluster.total_bytes_written cl)))
 
+let bench_dllist_churn =
+  Test.make ~name:"dllist: 1k push_back + removal from the middle"
+    (Staged.stage (fun () ->
+         let l = Dllist.create () in
+         let nodes = Array.init 1000 (fun k -> Dllist.push_back l k) in
+         (* evens first, then odds — every removal is from the middle *)
+         for k = 0 to 499 do
+           Dllist.remove l nodes.(2 * k)
+         done;
+         for k = 0 to 499 do
+           Dllist.remove l nodes.((2 * k) + 1)
+         done;
+         Sys.opaque_identity (Dllist.length l)))
+
+let bench_interval_index_query =
+  let m =
+    List.fold_left
+      (fun m k -> Interval_index.add m (iv (k * 8192) ((k * 8192) + 4096)) ~id:k k)
+      Interval_index.empty
+      (List.init 1000 (fun k -> k))
+  in
+  Test.make ~name:"interval_index: 1k stabbing queries over 1k extents"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         for k = 0 to 999 do
+           Interval_index.iter_overlapping m
+             (iv (k * 8192) ((k * 8192) + 16384))
+             (fun _ _ _ -> incr acc)
+         done;
+         Sys.opaque_identity !acc))
+
+(* The tentpole hot path, without the simulated network: every client
+   PW-locks the whole file, so each grant goes through one full queue
+   pass with the rest of the fleet blocked behind a saturating waiter. *)
+let bench_lock_server_contended_pass =
+  let n = 256 in
+  Test.make
+    ~name:(Printf.sprintf "lock_server: %d contended whole-file PW handoffs" n)
+    (Staged.stage (fun () ->
+         let params = Netsim.Params.default in
+         let eng = Dessim.Engine.create () in
+         let node = Netsim.Node.create eng params ~name:"s" () in
+         let server =
+           Seqdlm.Lock_server.create eng params ~node ~name:"ls"
+             ~policy:Seqdlm.Policy.seqdlm
+         in
+         for cid = 0 to n - 1 do
+           let cn =
+             Netsim.Node.create eng params ~name:(Printf.sprintf "c%d" cid) ()
+           in
+           Seqdlm.Lock_server.register_client server cid
+             (Netsim.Rpc.endpoint eng params ~node:cn
+                ~name:(Printf.sprintf "c%d.cb" cid)
+                ~handler:(fun _ ~reply -> reply ()))
+         done;
+         let to_release = Queue.create () in
+         for cid = 0 to n - 1 do
+           Seqdlm.Lock_server.submit server
+             {
+               Seqdlm.Types.client = cid;
+               rid = 1;
+               mode = Seqdlm.Mode.PW;
+               ranges = [ Interval.to_eof ~lo:0 ];
+             }
+             ~on_grant:(fun g ->
+               Queue.push (g.Seqdlm.Types.rid, g.Seqdlm.Types.lock_id) to_release)
+         done;
+         (* Ping-pong: acking + releasing the head grant lets the next
+            waiter through, queueing its own (rid, lock_id) in turn. *)
+         while not (Queue.is_empty to_release) do
+           let rid, lock_id = Queue.pop to_release in
+           Seqdlm.Lock_server.control server
+             (Seqdlm.Types.Revoke_ack { rid; lock_id });
+           Seqdlm.Lock_server.control server
+             (Seqdlm.Types.Release { rid; lock_id })
+         done;
+         Sys.opaque_identity (Seqdlm.Lock_server.stats server).grants))
+
 let micro_tests =
   Test.make_grouped ~name:"seqdlm-micro"
     [
@@ -147,6 +225,9 @@ let micro_tests =
       bench_extent_map_merge;
       bench_lcm;
       bench_layout_chunks;
+      bench_dllist_churn;
+      bench_interval_index_query;
+      bench_lock_server_contended_pass;
       bench_engine_events;
       bench_lock_handoff;
       bench_mini_cluster;

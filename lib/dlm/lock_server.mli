@@ -54,6 +54,20 @@ val register_client :
   t -> Types.client_id -> (Types.server_msg, unit) Netsim.Rpc.endpoint -> unit
 (** Where to deliver revocation callbacks for this client. *)
 
+(** {1 Direct entry points (tests and benchmarks)}
+
+    The in-process equivalents of the lock/ctl RPC endpoints: apply one
+    protocol step synchronously, including every queue pass it causes.
+    The model-based table tests and microbenchmarks drive the server
+    through these, bypassing the simulated network. *)
+
+val submit : t -> Types.request -> on_grant:(Types.grant -> unit) -> unit
+(** Enqueue a request; [on_grant] fires (possibly later, from another
+    step's queue pass) when it is granted. *)
+
+val control : t -> Types.ctl_msg -> unit
+(** Apply a revoke-ack, downgrade or release. *)
+
 val min_unreleased_write_sn :
   t -> Types.resource_id -> Ccpfs_util.Interval.t -> int option
 (** Minimum SN among unreleased write locks overlapping the range, or

@@ -32,14 +32,6 @@ let ranges_hull = function
   | [] -> invalid_arg "Types.ranges_hull: empty range list"
   | r :: rest -> List.fold_left Interval.hull r rest
 
-let rec ranges_overlap a b =
-  match (a, b) with
-  | [], _ | _, [] -> false
-  | (x : Interval.t) :: xs, (y : Interval.t) :: ys ->
-      if Interval.overlaps x y then true
-      else if x.hi <= y.lo then ranges_overlap xs b
-      else ranges_overlap a ys
-
 let normalize_ranges ranges =
   let sorted = List.sort Interval.compare ranges in
   let rec merge = function
@@ -49,6 +41,30 @@ let normalize_ranges ranges =
     | [] -> []
   in
   merge sorted
+
+(* The merge scan is only correct when each list is sorted by offset with
+   non-overlapping entries — the shape every server-side range list has.
+   It used to *assume* that shape: handed an unsorted list (a raw request
+   off the wire, a hand-built test case) it silently answered false on
+   genuinely overlapping ranges.  Inputs are now checked in O(n) and
+   normalized when they break the precondition, so the answer is right
+   for every input and the well-formed fast path costs one cheap scan. *)
+let rec sorted_disjoint : Interval.t list -> bool = function
+  | [] | [ _ ] -> true
+  | (x : Interval.t) :: ((y :: _) as rest) ->
+      x.hi <= y.lo && sorted_disjoint rest
+
+let rec overlap_scan a b =
+  match (a, b) with
+  | [], _ | _, [] -> false
+  | (x : Interval.t) :: xs, (y : Interval.t) :: ys ->
+      if Interval.overlaps x y then true
+      else if x.hi <= y.lo then overlap_scan xs b
+      else overlap_scan a ys
+
+let ranges_overlap a b =
+  let canon l = if sorted_disjoint l then l else normalize_ranges l in
+  overlap_scan (canon a) (canon b)
 
 let pp_ranges ppf ranges =
   Format.pp_print_list

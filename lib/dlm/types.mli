@@ -53,7 +53,10 @@ val ranges_hull : Ccpfs_util.Interval.t list -> Ccpfs_util.Interval.t
 
 val ranges_overlap :
   Ccpfs_util.Interval.t list -> Ccpfs_util.Interval.t list -> bool
-(** Whether two sorted disjoint range lists intersect (merge scan). *)
+(** Whether two range lists intersect.  Sorted disjoint lists (the shape
+    [normalize_ranges] produces, and the invariant of all server-side
+    lists) are compared with a linear merge scan; anything else is
+    normalized first, so the answer does not depend on list order. *)
 
 val normalize_ranges : Ccpfs_util.Interval.t list -> Ccpfs_util.Interval.t list
 (** Sort and merge touching ranges. *)

@@ -93,6 +93,15 @@ let all =
       run = Exp_ablation.run;
     };
     {
+      id = "scale";
+      title = "Scale: simulator wall-clock throughput at 128-512 clients";
+      paper_claim =
+        "lock-server queueing drives Figs. 17-20; the simulator must stay \
+         fast as contention deepens";
+      default_scale = 1.0;
+      run = Exp_scale.run;
+    };
+    {
       id = "safety";
       title = "§V-B1: data safety";
       paper_claim = "ior-hard readback and overlapping-write checksums always correct";

@@ -101,7 +101,11 @@ let group_by_stripe chunks =
       let cur = Option.value (Hashtbl.find_opt tbl stripe) ~default:[] in
       Hashtbl.replace tbl stripe (iv :: cur))
     chunks;
+  (* stripe order, not Hashtbl fold order: callers iterate the result
+     directly (cache writes, read gathers), so the grouping must not
+     inherit the hash table's randomizable iteration order *)
   Hashtbl.fold (fun s ivs acc -> (s, Types.normalize_ranges ivs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let do_write ?mode ?(lock_whole_range = false) t file ~data_by_stripe =
   t.op_counter <- t.op_counter + 1;

@@ -124,7 +124,13 @@ let flush_daemon t () =
             in
             if bytes > 0 then (bytes, rid) :: acc else acc)
           t.dirty []
-        |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+        (* ties broken by rid: equal-sized stripes are the common case,
+           and bytes alone would leave their flush order to Hashtbl
+           iteration order — not stable under randomized hashing *)
+        |> List.sort (fun (a, ar) (b, br) ->
+               match Int.compare b a with
+               | 0 -> Int.compare ar br
+               | c -> c)
       in
       List.iter
         (fun (_, rid) ->

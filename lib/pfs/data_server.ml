@@ -71,6 +71,14 @@ let stripe t rid =
 let total_cache_entries t =
   Hashtbl.fold (fun _ s acc -> acc + Extent_map.cardinal s.cache) t.stripes 0
 
+(* Stripe sweeps iterate rids in this canonical order, never raw
+   [Hashtbl.iter] order: under randomized hashing the latter varies from
+   process to process, and the sweeps below have order-sensitive effects
+   (a budget cut-off, lock-request issue order). *)
+let stripe_rids t =
+  Hashtbl.fold (fun rid _ acc -> rid :: acc) t.stripes []
+  |> List.sort Int.compare
+
 let pair_eq (a : int * int) (b : int * int) = a = b
 
 (* Fig. 15 steps ①-④ for one incoming block. *)
@@ -197,8 +205,9 @@ let cleanup_round t =
   t.stats.cleanup_runs <- t.stats.cleanup_runs + 1;
   let budget = ref t.config.Config.cleanup_batch in
   let removed = ref 0 in
-  Hashtbl.iter
-    (fun rid st ->
+  List.iter
+    (fun rid ->
+      let st = Hashtbl.find t.stripes rid in
       if !budget > 0 then begin
         let examined = ref [] in
         Extent_map.iter
@@ -221,7 +230,7 @@ let cleanup_round t =
             incr removed)
           !examined
       end)
-    t.stripes;
+    (stripe_rids t);
   t.stats.cleanup_removed <- t.stats.cleanup_removed + !removed;
   !removed
 
@@ -229,14 +238,14 @@ let force_sync t =
   t.stats.force_syncs <- t.stats.force_syncs + 1;
   let pending = ref 0 in
   let done_ = Condition.create t.eng in
-  Hashtbl.iter
-    (fun rid _ ->
+  List.iter
+    (fun rid ->
       incr pending;
       Seqdlm.Lock_server.sync_resource t.lock_server rid ~on_behalf:(-1)
         ~reply:(fun () ->
           decr pending;
           if !pending = 0 then Condition.broadcast done_))
-    t.stripes;
+    (stripe_rids t);
   if !pending > 0 then Condition.wait_until done_ (fun () -> !pending = 0);
   (* Every write lock has been released, so all data is on the device:
      caches and logs can be cleared. *)
@@ -313,11 +322,12 @@ let rebuild_extent_cache_from_log t rid =
 let crash_and_rebuild t =
   if not t.config.Config.extent_log then
     invalid_arg (t.name ^ ": recovery needs the extent log");
-  Hashtbl.iter
-    (fun rid st ->
+  List.iter
+    (fun rid ->
+      let st = Hashtbl.find t.stripes rid in
       st.cache <- rebuild_pairs t rid;
       st.coalesced_at <- Extent_map.cardinal st.cache)
-    t.stripes
+    (stripe_rids t)
 
 let max_logged_sn t rid =
   match Hashtbl.find_opt t.stripes rid with
@@ -329,10 +339,6 @@ let max_logged_sn t rid =
           | None -> Some sn
           | Some m -> Some (max m sn))
         None st.log
-
-let stripe_rids t =
-  Hashtbl.fold (fun rid _ acc -> rid :: acc) t.stripes []
-  |> List.sort Int.compare
 
 let stats t = t.stats
 let node t = t.node

@@ -97,7 +97,10 @@ type t = {
   mutable regular_spawned : int;
   mutable next_pid : int;
   mutable dispatched : int;
-  mutable blocked_procs : proc list; (* all procs currently suspended *)
+  blocked_procs : (int, proc) Hashtbl.t;
+      (* all procs currently suspended, by pid: suspend/resume are per-RPC
+         operations, so membership updates must be O(1) — a list scan per
+         resume was quadratic in blocked clients under contention *)
   mutable fp : int64;
   mutable tie_chooser : (int -> int) option;
   mutable jitter : (unit -> float) option;
@@ -127,7 +130,7 @@ let fnv_string h s =
 
 let create () =
   { now = 0.; seq = 0; heap = Heap.create (); current = None; live = 0;
-    regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = [];
+    regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = Hashtbl.create 64;
     fp = fnv_offset; tie_chooser = None; jitter = None; sink = Obs.Trace.null;
     metrics = Obs.Metrics.create () }
 
@@ -182,12 +185,12 @@ type _ Effect.t +=
 let mark_blocked t proc ctx =
   proc.blocked <- true;
   proc.wait_ctx <- ctx;
-  t.blocked_procs <- proc :: t.blocked_procs
+  Hashtbl.replace t.blocked_procs proc.pid proc
 
 let mark_unblocked t proc =
   proc.blocked <- false;
   proc.wait_ctx <- None;
-  t.blocked_procs <- List.filter (fun p -> p.pid <> proc.pid) t.blocked_procs
+  Hashtbl.remove t.blocked_procs proc.pid
 
 let spawn t ?(daemon = false) ~name body =
   t.next_pid <- t.next_pid + 1;
@@ -219,8 +222,7 @@ let spawn t ?(daemon = false) ~name body =
                waiting. *)
             finish ();
             t.current <- None;
-            t.blocked_procs <-
-              List.filter (fun p -> p.pid <> proc.pid) t.blocked_procs;
+            Hashtbl.remove t.blocked_procs proc.pid;
             raise e);
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -263,10 +265,12 @@ let sleep t d =
         push_event t ~time:(t.now +. d) ~proc:t.current resume)
 
 let blocked_report t =
-  t.blocked_procs
-  |> List.map (fun p ->
-         { b_name = p.name; b_pid = p.pid; b_daemon = p.daemon;
-           b_context = p.wait_ctx })
+  Hashtbl.fold
+    (fun _ p acc ->
+      { b_name = p.name; b_pid = p.pid; b_daemon = p.daemon;
+        b_context = p.wait_ctx }
+      :: acc)
+    t.blocked_procs []
   |> List.sort (fun a b -> Int.compare a.b_pid b.b_pid)
 
 (* Pop the event to dispatch next.  With a tie chooser installed, all

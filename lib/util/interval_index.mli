@@ -1,0 +1,36 @@
+(** An interval index: a multiset of (interval, id, value) entries
+    answering "which entries overlap [q]?" in O(log n + k).
+
+    Backed by an AVL tree keyed by (lo, id) and augmented with each
+    subtree's maximum [hi] (the classic interval-tree augmentation, as in
+    Lustre's LDLM extent queues).  Unlike {!Extent_map}, entries may
+    overlap arbitrarily — this indexes lock grant sets, where shared
+    locks stack on the same extents.  The [id] (unique per entry, e.g. a
+    lock id) disambiguates duplicates and addresses removal. *)
+
+type 'a t
+
+val empty : 'a t
+val cardinal : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> Interval.t -> id:int -> 'a -> 'a t
+(** O(log n).  Raises [Invalid_argument] on a duplicate (lo, id) key. *)
+
+val remove : 'a t -> Interval.t -> id:int -> 'a t
+(** O(log n).  [Interval.t] must be the one the entry was added with;
+    raises [Invalid_argument] if the entry is absent. *)
+
+val iter_overlapping : 'a t -> Interval.t -> (Interval.t -> int -> 'a -> unit) -> unit
+(** Entries whose interval overlaps the query, in (lo, id) order. *)
+
+val fold_overlapping :
+  'a t -> Interval.t -> init:'b -> f:('b -> Interval.t -> int -> 'a -> 'b) -> 'b
+
+val exists_overlapping : 'a t -> Interval.t -> (Interval.t -> int -> 'a -> bool) -> bool
+
+val iter : (Interval.t -> int -> 'a -> unit) -> 'a t -> unit
+val to_list : 'a t -> (Interval.t * int * 'a) list
+(** All entries in (lo, id) order. *)
+
+val check_invariants : 'a t -> unit

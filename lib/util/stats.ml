@@ -43,13 +43,19 @@ let sorted t =
       t.sorted <- Some a;
       a
 
+(* Nearest-rank: the smallest index i with (i+1)/n >= p/100.  The rank
+   is computed with a tolerance because [p /. 100. *. n] is not exact in
+   binary floating point — e.g. 7. /. 100. *. 300. = 21.000000000000004,
+   whose bare [ceil] lands one sample too high.  The tolerance (absolute
+   + relative) is far below the 1/n spacing between genuine ranks, so it
+   can only undo float noise, never skip a rank. *)
 let percentile t p =
   if t.n = 0 then 0.
   else
     let a = sorted t in
-    let rank =
-      int_of_float (ceil (p /. 100. *. float_of_int t.n)) - 1
-    in
+    let p = Float.max 0. (Float.min 100. p) in
+    let x = p /. 100. *. float_of_int t.n in
+    let rank = int_of_float (ceil (x -. (1e-9 +. (1e-12 *. x)))) - 1 in
     a.(Stdlib.max 0 (Stdlib.min (t.n - 1) rank))
 
 let pp_summary ppf t =

@@ -14,6 +14,9 @@ val min : t -> float
 val max : t -> float
 val stddev : t -> float
 val percentile : t -> float -> float
-(** [percentile t p] with [p] in [0, 100]; nearest-rank. *)
+(** [percentile t p]: the nearest-rank percentile — the smallest sample
+    whose rank [i] (1-based, ascending) satisfies [i/n >= p/100].
+    [p] is clamped to [0, 100]; [p = 0] gives the minimum, [p = 100]
+    the maximum, and 0. is returned on an empty accumulator. *)
 
 val pp_summary : Format.formatter -> t -> unit

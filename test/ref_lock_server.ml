@@ -1,6 +1,16 @@
+(* The pre-index lock server, kept verbatim as the reference model for
+   the differential test in test_dlm.ml: per-resource state as plain
+   lists ([granted : lock list], [waiting : waiter list]), every queue
+   pass a full scan.  The production server replaced these with indexed
+   structures (Dllist / Interval_index / hashtable) for O(1) hot paths;
+   the two must stay observationally identical — same grants in the same
+   order with the same SNs, same revokes, same queue depths.  Only the
+   [submit]/[control] aliases at the bottom were added. *)
+
 open Ccpfs_util
 open Dessim
 open Netsim
+open Seqdlm
 
 type stats = {
   mutable grants : int;
@@ -25,10 +35,6 @@ type lock = {
   sn : int;
   mutable state : Lcm.lock_state;
   mutable revoke_sent : bool;
-  seq : int;
-      (* per-server insertion stamp; descending seq reproduces the
-         newest-first order the granted set was historically kept in, so
-         revocation fan-out order is unchanged from the list days *)
 }
 
 type waiter = {
@@ -41,25 +47,11 @@ type waiter = {
   internal : bool; (* sync_resource pseudo-request: drop lock on grant *)
 }
 
-(* Indexed per-resource state (the tentpole of the Fig. 17-20 hot path):
-
-   - [waiting] is a doubly-linked FIFO deque: O(1) enqueue, O(1) removal
-     of a waiter granted out of position, O(1) queue depth for the
-     dlm.queue metric and the max_queue stat;
-   - [granted] is a lock-id hash table: O(1) find/release/ack;
-   - [granted_idx] is an interval index over each lock's range hull, so
-     conflict checks visit only hull-overlapping grants instead of the
-     whole set (candidates are still confirmed against exact ranges). *)
 type rstate = {
   rid : Types.resource_id;
   mutable next_sn : int;
-  granted : (int, lock) Hashtbl.t; (* by lock id *)
-  mutable granted_idx : lock Interval_index.t; (* by range hull *)
-  by_client : (Types.client_id, int) Hashtbl.t;
-      (* grant count per client: a waiter whose client holds nothing has
-         no same-client locks to convert, so its blocked-queue visit can
-         be skipped in O(1) (see [pass]) *)
-  waiting : waiter Dllist.t; (* FIFO, head first *)
+  mutable granted : lock list;
+  mutable waiting : waiter list; (* FIFO, head first *)
   mutable total_grants : int;
       (* cumulative; drives DLM-Lustre's contention heuristic *)
 }
@@ -83,7 +75,6 @@ type t = {
   resources : (Types.resource_id, rstate) Hashtbl.t;
   clients : (Types.client_id, (Types.server_msg, unit) Rpc.endpoint) Hashtbl.t;
   mutable next_lock_id : int;
-  mutable next_seq : int;
   stats : stats;
   mutable lock_ep : (Types.request, Types.grant) Rpc.endpoint option;
   mutable ctl_ep : (Types.ctl_msg, unit) Rpc.endpoint option;
@@ -93,91 +84,6 @@ type t = {
   mutable sn_reuse_every : int; (* injected sequencer fault: 0 = off *)
   mutable sn_issued : int;
 }
-
-(* ------------------------------------------------------------------ *)
-(* Granted-set operations                                              *)
-(* ------------------------------------------------------------------ *)
-
-let granted_add rs (g : lock) =
-  Hashtbl.replace rs.granted g.id g;
-  rs.granted_idx <- Interval_index.add rs.granted_idx g.hull ~id:g.id g;
-  let n = try Hashtbl.find rs.by_client g.client with Not_found -> 0 in
-  Hashtbl.replace rs.by_client g.client (n + 1)
-
-let granted_remove rs (g : lock) =
-  Hashtbl.remove rs.granted g.id;
-  rs.granted_idx <- Interval_index.remove rs.granted_idx g.hull ~id:g.id;
-  match Hashtbl.find rs.by_client g.client with
-  | 1 -> Hashtbl.remove rs.by_client g.client
-  | n -> Hashtbl.replace rs.by_client g.client (n - 1)
-
-let granted_fold f rs acc = Hashtbl.fold (fun _ g acc -> f g acc) rs.granted acc
-let find_lock rs lock_id = Hashtbl.find_opt rs.granted lock_id
-
-(* The grants whose hull overlaps any of [ranges], newest first — the
-   order the old list-based granted set presented candidates in.  The
-   hull test is a superset filter: callers re-check exact ranges. *)
-let hull_overlapping rs ranges =
-  let candidates =
-    List.fold_left
-      (fun acc (r : Interval.t) ->
-        Interval_index.fold_overlapping rs.granted_idx r ~init:acc
-          ~f:(fun acc _iv _id g -> g :: acc))
-      [] ranges
-  in
-  let dedup =
-    match ranges with [] | [ _ ] -> candidates | _ -> List.sort_uniq (fun (a : lock) b -> Int.compare a.id b.id) candidates
-  in
-  List.sort (fun (a : lock) b -> Int.compare b.seq a.seq) dedup
-
-(* ------------------------------------------------------------------ *)
-(* Per-pass blocked-request accumulator                                *)
-(* ------------------------------------------------------------------ *)
-
-(* FIFO fairness: a request may not overtake an earlier-queued request it
-   conflicts with.  The old implementation kept the earlier blocked
-   requests as a list and scanned it per waiter — O(queue^2) per pass.
-   Bucketing the blocked ranges by mode (there are four) turns the check
-   into at most four extent-map probes: two range lists overlap iff one
-   overlaps the union of the other's bucket, and mode conflict depends
-   only on the modes. *)
-module Blocked = struct
-  type t = unit Extent_map.t array (* indexed by mode rank *)
-
-  let mode_rank = function Mode.PR -> 0 | Mode.NBW -> 1 | Mode.BW -> 2 | Mode.PW -> 3
-  let modes = [| Mode.PR; Mode.NBW; Mode.BW; Mode.PW |]
-  let create () = Array.make 4 Extent_map.empty
-
-  let add (t : t) mode ranges =
-    let i = mode_rank mode in
-    t.(i) <-
-      List.fold_left (fun m (r : Interval.t) -> Extent_map.set m r ()) t.(i)
-        ranges
-
-  let blocks (t : t) mode ranges =
-    let conflicts_with i =
-      let m = modes.(i) in
-      Lcm.request_conflict mode m || Lcm.request_conflict m mode
-    in
-    let overlaps i =
-      (not (Extent_map.is_empty t.(i)))
-      && List.exists
-           (fun (r : Interval.t) -> Extent_map.overlapping t.(i) r <> [])
-           ranges
-    in
-    let rec go i = i < 4 && ((conflicts_with i && overlaps i) || go (i + 1)) in
-    go 0
-
-  (* A blocked entry of a write mode spanning the whole offset space
-     blocks every possible later request: the three write modes conflict
-     with all four modes, and [0, eof) overlaps every valid interval.
-     Detecting such an entry lets [pass] stop probing the buckets. *)
-  let saturates mode ranges =
-    (match mode with Mode.PR -> false | Mode.NBW | Mode.BW | Mode.PW -> true)
-    && List.exists
-         (fun (r : Interval.t) -> r.lo = 0 && r.hi = Interval.eof)
-         ranges
-end
 
 (* Lock-lifecycle instants on the trace sink (enqueue -> grant -> revoke
    -> ack -> release), attributed to the courier process that triggered
@@ -236,17 +142,7 @@ let rstate t rid =
   match Hashtbl.find_opt t.resources rid with
   | Some rs -> rs
   | None ->
-      let rs =
-        {
-          rid;
-          next_sn = 1;
-          granted = Hashtbl.create 16;
-          granted_idx = Interval_index.empty;
-          by_client = Hashtbl.create 16;
-          waiting = Dllist.create ();
-          total_grants = 0;
-        }
-      in
+      let rs = { rid; next_sn = 1; granted = []; waiting = []; total_grants = 0 } in
       Hashtbl.add t.resources rid rs;
       rs
 
@@ -258,28 +154,26 @@ let lock_conflicts_waiter ~eff_mode ~ranges (g : lock) =
    expansion happened.  Only singleton-range requests expand, only the
    end of the range grows (§II-A), and the expansion stops at the first
    conflicting granted lock or queued request above it. *)
-let expanded_ranges t rs (w : waiter) =
+let expanded_ranges t rs (w : waiter) ~others =
   match (t.policy.Policy.expansion, w.req.ranges) with
   | Policy.No_expansion, ranges -> (ranges, false)
   | _, ([] | _ :: _ :: _) -> (w.req.ranges, false)
   | (Policy.Greedy | Policy.Capped _), [ iv ] ->
       let bound = ref Interval.eof in
       let consider lo = if lo >= iv.Interval.hi && lo < !bound then bound := lo in
-      (* A min-fold over every grant/waiter: iteration order is
-         irrelevant to the result, so the hash table's order is fine. *)
-      granted_fold
-        (fun (g : lock) () ->
+      List.iter
+        (fun (g : lock) ->
           if not (Lcm.compatible ~req:w.eff_mode ~granted:g.mode ~state:g.state)
           then consider g.hull.Interval.lo)
-        rs ();
-      Dllist.iter
+        rs.granted;
+      List.iter
         (fun (w' : waiter) ->
           if
             w'.req.ranges <> []
             && (Lcm.request_conflict w.eff_mode w'.eff_mode
                || Lcm.request_conflict w'.eff_mode w.eff_mode)
           then consider (Types.ranges_hull w'.req.ranges).Interval.lo)
-        rs.waiting;
+        others;
       (match t.policy.Policy.expansion with
       | Policy.Capped { max_expand; lock_threshold } ->
           (* Lustre's contention heuristic: once a resource has seen more
@@ -306,9 +200,11 @@ let send_revoke t rs (g : lock) =
 
 let grant_waiter t rs (w : waiter) ~own ~early =
   (* Merge away the holder's own conflicting locks (lock upgrading). *)
-  List.iter (fun (o : lock) -> granted_remove rs o) own;
+  rs.granted <-
+    List.filter (fun g -> not (List.exists (fun o -> o.id = g.id) own)) rs.granted;
   rs.total_grants <- rs.total_grants + 1;
-  let ranges, expanded = expanded_ranges t rs w in
+  let others = rs.waiting in
+  let ranges, expanded = expanded_ranges t rs w ~others in
   let ranges =
     Types.normalize_ranges (List.concat_map (fun o -> o.ranges) own @ ranges)
   in
@@ -331,13 +227,13 @@ let grant_waiter t rs (w : waiter) ~own ~early =
     end
   in
   let conflicts_queued =
-    Dllist.exists
+    List.exists
       (fun (w' : waiter) ->
         w'.req.ranges <> []
         && Types.ranges_overlap w'.req.ranges ranges
         && (Lcm.request_conflict w'.eff_mode mode
            || Lcm.request_conflict mode w'.eff_mode))
-      rs.waiting
+      others
   in
   let early_revoked =
     t.policy.Policy.early_revocation && (not expanded) && conflicts_queued
@@ -345,7 +241,6 @@ let grant_waiter t rs (w : waiter) ~own ~early =
   in
   let state = if early_revoked then Lcm.Canceling else Lcm.Granted in
   t.next_lock_id <- t.next_lock_id + 1;
-  t.next_seq <- t.next_seq + 1;
   let lock =
     {
       id = t.next_lock_id;
@@ -356,10 +251,9 @@ let grant_waiter t rs (w : waiter) ~own ~early =
       sn;
       state;
       revoke_sent = early_revoked;
-      seq = t.next_seq;
     }
   in
-  granted_add rs lock;
+  rs.granted <- lock :: rs.granted;
   let s = t.stats in
   s.grants <- s.grants + 1;
   if expanded then s.expansions <- s.expansions + 1;
@@ -414,38 +308,22 @@ let grant_waiter t rs (w : waiter) ~own ~early =
    the caller loops). *)
 let pass t rs =
   let progress = ref false in
-  let blocked = Blocked.create () in
-  let saturated = ref false in
-  (* Post-saturation adds are dead: every later blocked check
-     short-circuits on [saturated], and [blocked] is pass-local. *)
-  let note_blocked eff union_ranges =
-    if not !saturated then begin
-      Blocked.add blocked eff union_ranges;
-      if Blocked.saturates eff union_ranges then saturated := true
-    end
+  let blocked : (Mode.t * Interval.t list) list ref = ref [] in
+  let blocked_by_earlier mode ranges =
+    List.exists
+      (fun (m, rgs) ->
+        Types.ranges_overlap rgs ranges
+        && (Lcm.request_conflict mode m || Lcm.request_conflict m mode))
+      !blocked
   in
-  (* Iterate a snapshot of the queue nodes; granted waiters are unlinked
+  (* Iterate a snapshot; granted waiters are removed from rs.waiting
      immediately so later decisions in the same pass see a fresh queue.
      A reply hook may re-enter [process] (internal sync requests), so a
-     snapshot node may already be gone — [Dllist.active] skips those in
-     O(1), where the list implementation had to rescan the queue. *)
+     snapshot entry may already be gone — skip those. *)
   List.iter
-    (fun node ->
-      if not (Dllist.active node) then ()
-      else if
-        (* Once an earlier waiter blocks the whole offset space, every
-           later waiter is blocked too; if its client also holds no
-           grants on this resource there is nothing to convert, so the
-           visit would change no state at all (the only write a blocked
-           visit performs is the conversion join into [eff_mode], and
-           its [Blocked.add] cannot matter once the set saturates).
-           Skipping it keeps a contended pass O(1) per queued request. *)
-        !saturated
-        && ((not t.policy.Policy.auto_convert)
-           || not (Hashtbl.mem rs.by_client (Dllist.value node).req.client))
-      then ()
+    (fun (w : waiter) ->
+      if not (List.memq w rs.waiting) then ()
       else
-      let w = Dllist.value node in
       (* Same-client GRANTED conflicts are merged by upgrading when
          conversion is on (and no revocation is already in flight). *)
       let own =
@@ -456,7 +334,7 @@ let pass t rs =
               && (not g.revoke_sent)
               && lock_conflicts_waiter ~eff_mode:w.eff_mode ~ranges:w.req.ranges
                    g)
-            (hull_overlapping rs w.req.ranges)
+            rs.granted
         else []
       in
       let eff =
@@ -470,15 +348,15 @@ let pass t rs =
         Types.normalize_ranges
           (w.req.ranges @ List.concat_map (fun (g : lock) -> g.ranges) own)
       in
-      if !saturated || Blocked.blocks blocked eff union_ranges then
-        note_blocked eff union_ranges
+      if blocked_by_earlier eff union_ranges then
+        blocked := (eff, union_ranges) :: !blocked
       else begin
         let conflicts =
           List.filter
             (fun (g : lock) ->
-              (not (List.exists (fun (o : lock) -> o.id = g.id) own))
+              (not (List.exists (fun o -> o.id = g.id) own))
               && lock_conflicts_waiter ~eff_mode:eff ~ranges:union_ranges g)
-            (hull_overlapping rs union_ranges)
+            rs.granted
         in
         if conflicts = [] then begin
           let early =
@@ -486,9 +364,9 @@ let pass t rs =
               (fun (g : lock) ->
                 g.state = Lcm.Canceling
                 && Types.ranges_overlap w.req.ranges g.ranges)
-              (hull_overlapping rs w.req.ranges)
+              rs.granted
           in
-          Dllist.remove rs.waiting node;
+          rs.waiting <- List.filter (fun w' -> w' != w) rs.waiting;
           ignore (grant_waiter t rs w ~own ~early);
           progress := true
         end
@@ -502,14 +380,17 @@ let pass t rs =
             w.acks_time = None
             && List.for_all (fun (g : lock) -> g.state = Lcm.Canceling) conflicts
           then w.acks_time <- Some (Engine.now t.eng);
-          note_blocked eff union_ranges
+          blocked := (eff, union_ranges) :: !blocked
         end
       end)
-    (Dllist.nodes rs.waiting);
+    rs.waiting;
   !progress
 
 let rec process t rs =
-  if pass t rs && not (Dllist.is_empty rs.waiting) then process t rs
+  if pass t rs && rs.waiting <> [] then process t rs
+
+let find_lock rs lock_id =
+  List.find_opt (fun (g : lock) -> g.id = lock_id) rs.granted
 
 let handle_request t (req : Types.request) ~reply =
   trace t (T_request req);
@@ -524,8 +405,8 @@ let handle_request t (req : Types.request) ~reply =
       internal = false;
     }
   in
-  ignore (Dllist.push_back rs.waiting w);
-  let q = Dllist.length rs.waiting in
+  rs.waiting <- rs.waiting @ [ w ];
+  let q = List.length rs.waiting in
   if q > t.stats.max_queue then t.stats.max_queue <- q;
   Obs.Metrics.observe t.q_depth (float_of_int q);
   process t rs;
@@ -553,17 +434,13 @@ let handle_ctl t (msg : Types.ctl_msg) ~reply =
   | Types.Release { rid; lock_id } ->
       trace t (T_release { t_rid = rid; t_lock_id = lock_id });
       let rs = rstate t rid in
-      (match find_lock rs lock_id with
-      | Some g ->
-          granted_remove rs g;
-          t.stats.releases <- t.stats.releases + 1;
-          process t rs
-      | None -> ()));
+      if List.exists (fun (g : lock) -> g.id = lock_id) rs.granted then begin
+        rs.granted <- List.filter (fun (g : lock) -> g.id <> lock_id) rs.granted;
+        t.stats.releases <- t.stats.releases + 1;
+        process t rs
+      end);
   validate t;
   reply ()
-
-let submit t req ~on_grant = handle_request t req ~reply:on_grant
-let control t msg = handle_ctl t msg ~reply:(fun () -> ())
 
 let create eng params ~node ~name ~policy =
   let t =
@@ -572,7 +449,6 @@ let create eng params ~node ~name ~policy =
       resources = Hashtbl.create 64;
       clients = Hashtbl.create 64;
       next_lock_id = 0;
-      next_seq = 0;
       stats = fresh_stats ();
       lock_ep = None;
       ctl_ep = None;
@@ -603,14 +479,14 @@ let min_unreleased_write_sn t rid iv =
   match Hashtbl.find_opt t.resources rid with
   | None -> None
   | Some rs ->
-      (* Hull-overlap narrows the scan; the exact range check decides. *)
-      Interval_index.fold_overlapping rs.granted_idx iv ~init:None
-        ~f:(fun acc _hull _id (g : lock) ->
+      List.fold_left
+        (fun acc (g : lock) ->
           if Mode.is_write g.mode && Types.ranges_overlap [ iv ] g.ranges then
             match acc with
             | None -> Some g.sn
             | Some m -> Some (min m g.sn)
           else acc)
+        None rs.granted
 
 let sync_resource t rid ~on_behalf ~reply =
   let rs = rstate t rid in
@@ -625,9 +501,7 @@ let sync_resource t rid ~on_behalf ~reply =
   let w_reply (g : Types.grant) =
     (* The pseudo-lock served its purpose the instant it is grantable:
        every conflicting write lock has been released.  Drop it. *)
-    (match find_lock rs g.lock_id with
-    | Some l -> granted_remove rs l
-    | None -> ());
+    rs.granted <- List.filter (fun (l : lock) -> l.id <> g.lock_id) rs.granted;
     process t rs;
     reply ()
   in
@@ -641,29 +515,24 @@ let sync_resource t rid ~on_behalf ~reply =
       internal = true;
     }
   in
-  ignore (Dllist.push_back rs.waiting w);
+  rs.waiting <- rs.waiting @ [ w ];
   process t rs;
   validate t
 
-let sorted_resources t =
-  Hashtbl.fold (fun rid rs acc -> (rid, rs) :: acc) t.resources []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-
 let crash t =
-  List.iter
-    (fun (rid, rs) ->
-      if not (Dllist.is_empty rs.waiting) then
+  Hashtbl.iter
+    (fun rid rs ->
+      if rs.waiting <> [] then
         invalid_arg
           (Printf.sprintf "%s: crash with %d queued requests on resource %d"
-             t.name (Dllist.length rs.waiting) rid))
-    (sorted_resources t);
+             t.name (List.length rs.waiting) rid))
+    t.resources;
   Hashtbl.reset t.resources
 
 let reinstall t ~client ~locks =
   List.iter
     (fun (rid, lock_id, mode, ranges, sn, state) ->
       let rs = rstate t rid in
-      t.next_seq <- t.next_seq + 1;
       let lock =
         {
           id = lock_id;
@@ -676,10 +545,9 @@ let reinstall t ~client ~locks =
           (* A canceling lock's holder is already flushing; no callback
              must ever be sent for it again. *)
           revoke_sent = (state = Lcm.Canceling);
-          seq = t.next_seq;
         }
       in
-      granted_add rs lock;
+      rs.granted <- lock :: rs.granted;
       if lock_id >= t.next_lock_id then t.next_lock_id <- lock_id + 1;
       if sn >= rs.next_sn then rs.next_sn <- sn + 1)
     locks
@@ -705,18 +573,16 @@ let granted_locks t rid =
   match Hashtbl.find_opt t.resources rid with
   | None -> []
   | Some rs ->
-      granted_fold
-        (fun (g : lock) acc ->
-          {
-            v_lock_id = g.id;
-            v_client = g.client;
-            v_mode = g.mode;
-            v_ranges = g.ranges;
-            v_sn = g.sn;
-            v_state = g.state;
-          }
-          :: acc)
-        rs []
+      rs.granted
+      |> List.map (fun (g : lock) ->
+             {
+               v_lock_id = g.id;
+               v_client = g.client;
+               v_mode = g.mode;
+               v_ranges = g.ranges;
+               v_sn = g.sn;
+               v_state = g.state;
+             })
       |> List.sort (fun a b -> Int.compare a.v_lock_id b.v_lock_id)
 
 type waiter_view = {
@@ -742,7 +608,7 @@ let waiting_view t rid =
             q_enq_time = w.enq_time;
             q_internal = w.internal;
           })
-        (Dllist.to_list rs.waiting)
+        rs.waiting
 
 let resource_ids t =
   Hashtbl.fold (fun rid _ acc -> rid :: acc) t.resources []
@@ -751,7 +617,7 @@ let resource_ids t =
 let queue_length t rid =
   match Hashtbl.find_opt t.resources rid with
   | None -> 0
-  | Some rs -> Dllist.length rs.waiting
+  | Some rs -> List.length rs.waiting
 
 let next_sn t rid = (rstate t rid).next_sn
 let stats t = t.stats
@@ -790,26 +656,13 @@ let pp_trace_event ppf = function
         (Mode.to_string t_mode)
 
 let check_invariants t =
-  List.iter
-    (fun (_, rs) ->
-      Dllist.check_invariants rs.waiting;
-      Interval_index.check_invariants rs.granted_idx;
-      (* The hash table and the interval index must agree entry for
-         entry, each index entry keyed by the lock's current hull. *)
-      assert (Hashtbl.length rs.granted = Interval_index.cardinal rs.granted_idx);
-      Interval_index.iter
-        (fun hull id (g : lock) ->
-          (match find_lock rs id with
-          | Some g' -> assert (g' == g)
-          | None -> assert false);
-          assert (Interval.equal hull g.hull))
-        rs.granted_idx;
-      let granted = granted_fold (fun g acc -> g :: acc) rs [] in
+  Hashtbl.iter
+    (fun _ rs ->
       (* Write-lock SNs unique per resource. *)
       let sns =
         List.filter_map
           (fun (g : lock) -> if Mode.is_write g.mode then Some g.sn else None)
-          granted
+          rs.granted
       in
       assert (List.length sns = List.length (List.sort_uniq Int.compare sns));
       List.iter (fun sn -> assert (sn < rs.next_sn)) sns;
@@ -827,5 +680,9 @@ let check_invariants t =
               rest;
             pairs rest
       in
-      pairs granted)
-    (sorted_resources t)
+      pairs rs.granted)
+    t.resources
+
+(* Direct entry points, mirroring Lock_server.submit / Lock_server.control. *)
+let submit t req ~on_grant = handle_request t req ~reply:on_grant
+let control t msg = handle_ctl t msg ~reply:(fun () -> ())

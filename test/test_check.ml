@@ -211,6 +211,54 @@ let test_determinism_catches_hidden_state () =
              Engine.run eng;
              eng)))
 
+let test_determinism_under_randomized_hashing () =
+  (* Regression for a family of latent ordering bugs: sweeps that leaked
+     raw [Hashtbl] iteration order into protocol events — the flush
+     daemon's equal-size tie order, the data server's budget-limited
+     cleanup sweep and force-sync issue order, the client's per-stripe
+     write grouping.  [Hashtbl.randomize] gives every subsequently
+     created table a fresh random seed, so the two runs of the
+     determinism check iterate their tables in genuinely different
+     orders; if any of those sweeps still depended on it, the
+     event-stream fingerprints would diverge. *)
+  Hashtbl.randomize ();
+  let open Ccpfs in
+  ignore
+    (Check.Determinism.check ~name:"randomized-hashing" (fun () ->
+         let config =
+           Config.with_extent_cache ~limit:48
+             (Config.with_dirty_limits ~dirty_min:(32 * 1024)
+                ~dirty_max:(256 * 1024) Config.default)
+         in
+         (* the voluntary flush daemon must get a chance to run between
+            writes — its largest-first drain order is one of the sweeps
+            under test *)
+         let config = { config with Config.flush_period = 2e-4 } in
+         let cl =
+           Cluster.create ~config ~policy:Policy.seqdlm ~n_servers:2
+             ~n_clients:4 ()
+         in
+         let layout = Layout.v ~stripe_size:(16 * 1024) ~stripe_count:8 () in
+         for i = 0 to 3 do
+           Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+               let f = Client.open_file c ~create:true ~layout "/rand" in
+               (* Stripe-crossing strided writes over an 8-stripe layout:
+                  every write spans stripes (the per-stripe grouping
+                  table), the equal-size dirty stripes exercise the flush
+                  daemon's tie order, and the extent-cache pressure on
+                  both servers drives the cleanup sweep and force-sync. *)
+               for k = 0 to 11 do
+                 let slot = (k * 4) + i in
+                 Client.write c f ~off:(slot * 20_000) ~len:20_000
+               done;
+               Client.write c f ~off:(i * 160 * 1024) ~len:(128 * 1024);
+               Client.fsync c)
+         done;
+         Cluster.run cl;
+         Cluster.fsync_all cl;
+         Cluster.check_invariants cl;
+         Cluster.engine cl))
+
 (* ------------------------------------------------------------------ *)
 (* Schedule explorer                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -302,6 +350,8 @@ let suite =
           test_determinism_accepts_pure_scenario;
         Alcotest.test_case "hidden state caught" `Quick
           test_determinism_catches_hidden_state;
+        Alcotest.test_case "stable under randomized hashing" `Quick
+          test_determinism_under_randomized_hashing;
       ] );
     ( "check.explore",
       [

@@ -168,6 +168,31 @@ let test_normalize_ranges () =
     [ (0, 30); (40, 50) ]
     (List.map (fun (i : Interval.t) -> (i.lo, i.hi)) got)
 
+(* [ranges_overlap] against the obvious O(n²) definition, on lists that
+   are deliberately NOT sorted or disjoint — the shapes that broke the
+   old merge scan, which silently assumed its inputs were canonical. *)
+let prop_ranges_overlap_oracle =
+  let open QCheck in
+  let genlist =
+    Gen.(
+      list_size (int_bound 8)
+        (map2 (fun lo len -> (lo, lo + len)) (int_bound 40) (int_range 1 12)))
+  in
+  let print = Print.(list (pair int int)) in
+  Test.make ~name:"ranges_overlap matches O(n^2) oracle on raw lists"
+    ~count:500
+    (make ~print:(Print.pair print print) Gen.(pair genlist genlist))
+    (fun (a, b) ->
+      let a = List.map (fun (lo, hi) -> iv lo hi) a
+      and b = List.map (fun (lo, hi) -> iv lo hi) b in
+      let naive =
+        List.exists (fun x -> List.exists (Interval.overlaps x) b) a
+      in
+      Types.ranges_overlap a b = naive
+      (* and the answer is order-independent *)
+      && Types.ranges_overlap (List.rev a) (List.rev b) = naive
+      && Types.ranges_overlap b a = naive)
+
 (* ------------------------------------------------------------------ *)
 (* Protocol scenarios                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -832,6 +857,311 @@ let prop_lcm_table2_symmetry =
       in
       symmetric && matches_oracle)
 
+(* ------------------------------------------------------------------ *)
+(* Differential model test: indexed server vs the list reference       *)
+(* ------------------------------------------------------------------ *)
+
+(* The production lock server keeps its per-resource state in indexed
+   structures (Dllist wait queue, lock-id table, extent interval index);
+   [Ref_lock_server] is the pre-index implementation kept verbatim, with
+   plain lists.  Both are driven through [submit]/[control]/
+   [sync_resource] with the same operation script — no simulated network,
+   the test plays every client — and must stay observationally identical
+   after every step: same grants in the same order (ids, modes, ranges,
+   SNs, states, replaced locks), same revokes, same queue contents and
+   sequence numbers. *)
+
+(* Everything observable about one server, behind closures so the same
+   driver handles both modules. *)
+type side = {
+  s_submit : Types.request -> unit;
+  s_control : Types.ctl_msg -> unit;
+  s_sync : client:int -> rid:int -> unit;
+  (* newest first *)
+  s_grants :
+    (int * int * int * Mode.t * (int * int) list * int * bool * bool * int list)
+    list
+    ref;
+  s_revokes : (int * int * int) list ref;
+  s_syncs : int ref;
+  s_live : (int * int) list ref; (* (rid, lock_id), newest first *)
+  s_q_len : int -> int;
+  s_next_sn : int -> int;
+  s_granted : int -> (int * int * Mode.t * (int * int) list * int * bool) list;
+  s_waiting : int -> (int * Mode.t * Mode.t * (int * int) list) list;
+}
+
+let flat_ranges = List.map (fun (i : Interval.t) -> (i.Interval.lo, i.Interval.hi))
+
+let observe_grant side (g : Types.grant) ~early =
+  side.s_grants :=
+    ( g.lock_id,
+      g.rid,
+      g.client,
+      g.mode,
+      flat_ranges g.ranges,
+      g.sn,
+      g.state = Lcm.Canceling,
+      early,
+      g.replaces )
+    :: !(side.s_grants);
+  side.s_live :=
+    (g.rid, g.lock_id)
+    :: List.filter
+         (fun (rid, id) -> rid <> g.rid || not (List.mem id g.replaces))
+         !(side.s_live)
+
+let indexed_side eng ~policy ~clients =
+  let node = Netsim.Node.create eng params ~name:"idx-node" () in
+  let s = Lock_server.create eng params ~node ~name:"idx" ~policy in
+  List.iter (fun (cid, ep) -> Lock_server.register_client s cid ep) clients;
+  let side =
+    ref
+      {
+        s_submit = (fun _ -> ());
+        s_control = Lock_server.control s;
+        s_sync = (fun ~client:_ ~rid:_ -> ());
+        s_grants = ref [];
+        s_revokes = ref [];
+        s_syncs = ref 0;
+        s_live = ref [];
+        s_q_len = Lock_server.queue_length s;
+        s_next_sn = Lock_server.next_sn s;
+        s_granted =
+          (fun rid ->
+            List.map
+              (fun (v : Lock_server.lock_view) ->
+                ( v.v_lock_id,
+                  v.v_client,
+                  v.v_mode,
+                  flat_ranges v.v_ranges,
+                  v.v_sn,
+                  v.v_state = Lcm.Canceling ))
+              (Lock_server.granted_locks s rid));
+        s_waiting =
+          (fun rid ->
+            List.map
+              (fun (w : Lock_server.waiter_view) ->
+                (w.q_client, w.q_mode, w.q_eff_mode, flat_ranges w.q_ranges))
+              (Lock_server.waiting_view s rid));
+      }
+  in
+  Lock_server.set_tracer s (fun _ ev ->
+      match ev with
+      | Lock_server.T_grant (g, early) ->
+          observe_grant !side g ~early:(early = `Early)
+      | Lock_server.T_revoke { t_rid; t_lock_id; t_client } ->
+          !side.s_revokes := (t_rid, t_lock_id, t_client) :: !(!side.s_revokes)
+      | _ -> ());
+  side :=
+    {
+      !side with
+      s_submit = (fun req -> Lock_server.submit s req ~on_grant:(fun _ -> ()));
+      s_sync =
+        (fun ~client ~rid ->
+          Lock_server.sync_resource s rid ~on_behalf:client ~reply:(fun () ->
+              incr !side.s_syncs));
+    };
+  !side
+
+let reference_side eng ~policy ~clients =
+  let node = Netsim.Node.create eng params ~name:"ref-node" () in
+  let s = Ref_lock_server.create eng params ~node ~name:"ref" ~policy in
+  List.iter (fun (cid, ep) -> Ref_lock_server.register_client s cid ep) clients;
+  let side =
+    ref
+      {
+        s_submit = (fun _ -> ());
+        s_control = Ref_lock_server.control s;
+        s_sync = (fun ~client:_ ~rid:_ -> ());
+        s_grants = ref [];
+        s_revokes = ref [];
+        s_syncs = ref 0;
+        s_live = ref [];
+        s_q_len = Ref_lock_server.queue_length s;
+        s_next_sn = Ref_lock_server.next_sn s;
+        s_granted =
+          (fun rid ->
+            List.map
+              (fun (v : Ref_lock_server.lock_view) ->
+                ( v.v_lock_id,
+                  v.v_client,
+                  v.v_mode,
+                  flat_ranges v.v_ranges,
+                  v.v_sn,
+                  v.v_state = Lcm.Canceling ))
+              (Ref_lock_server.granted_locks s rid));
+        s_waiting =
+          (fun rid ->
+            List.map
+              (fun (w : Ref_lock_server.waiter_view) ->
+                (w.q_client, w.q_mode, w.q_eff_mode, flat_ranges w.q_ranges))
+              (Ref_lock_server.waiting_view s rid));
+      }
+  in
+  Ref_lock_server.set_tracer s (fun _ ev ->
+      match ev with
+      | Ref_lock_server.T_grant (g, early) ->
+          observe_grant !side g ~early:(early = `Early)
+      | Ref_lock_server.T_revoke { t_rid; t_lock_id; t_client } ->
+          !side.s_revokes := (t_rid, t_lock_id, t_client) :: !(!side.s_revokes)
+      | _ -> ());
+  side :=
+    {
+      !side with
+      s_submit =
+        (fun req -> Ref_lock_server.submit s req ~on_grant:(fun _ -> ()));
+      s_sync =
+        (fun ~client ~rid ->
+          Ref_lock_server.sync_resource s rid ~on_behalf:client
+            ~reply:(fun () -> incr !side.s_syncs));
+    };
+  !side
+
+let sides_agree ~n_rids a b =
+  !(a.s_grants) = !(b.s_grants)
+  && !(a.s_revokes) = !(b.s_revokes)
+  && !(a.s_syncs) = !(b.s_syncs)
+  && List.for_all
+       (fun rid ->
+         a.s_q_len rid = b.s_q_len rid
+         && a.s_next_sn rid = b.s_next_sn rid
+         && a.s_granted rid = b.s_granted rid
+         && a.s_waiting rid = b.s_waiting rid)
+       (List.init n_rids (fun i -> i))
+
+(* One scripted step against one side.  Acks/releases/downgrades address
+   locks through the side's own event logs — the logs are asserted equal
+   after every step, so both sides always receive the same message. *)
+let apply_op side op =
+  match op with
+  | `Req (client, rid, mode, ranges) ->
+      side.s_submit { Types.client; rid; mode; ranges }
+  | `Ack k -> (
+      match !(side.s_revokes) with
+      | [] -> ()
+      | log ->
+          let rid, lock_id, _ = List.nth log (k mod List.length log) in
+          side.s_control (Types.Revoke_ack { rid; lock_id }))
+  | `Release k -> (
+      match !(side.s_live) with
+      | [] -> ()
+      | live ->
+          let rid, lock_id = List.nth live (k mod List.length live) in
+          side.s_live := List.filter (( <> ) (rid, lock_id)) live;
+          side.s_control (Types.Release { rid; lock_id }))
+  | `Downgrade (k, mode) -> (
+      match !(side.s_live) with
+      | [] -> ()
+      | live ->
+          let rid, lock_id = List.nth live (k mod List.length live) in
+          side.s_control (Types.Downgrade { rid; lock_id; mode }))
+  | `Sync (client, rid) -> side.s_sync ~client ~rid
+
+let model_policies =
+  Policy.all
+  @ [
+      Policy.without_early_revocation Policy.seqdlm;
+      Policy.without_conversion Policy.seqdlm;
+    ]
+
+let prop_indexed_matches_reference =
+  let open QCheck in
+  let n_clients = 3 and n_rids = 2 in
+  let gen_ranges =
+    (* mostly singletons; sometimes two disjoint ranges (datatype shape) *)
+    Gen.(
+      frequency
+        [
+          ( 4,
+            map2
+              (fun lo len -> [ iv lo (lo + len) ])
+              (int_bound 40) (int_range 1 24) );
+          ( 1,
+            map
+              (fun (lo, len, gap, len2) ->
+                [ iv lo (lo + len);
+                  iv (lo + len + gap) (lo + len + gap + len2) ])
+              (quad (int_bound 30) (int_range 1 12) (int_range 1 8)
+                 (int_range 1 12)) );
+        ])
+  in
+  let gen_op =
+    Gen.(
+      frequency
+        [
+          ( 8,
+            map2
+              (fun (c, r, m) ranges -> `Req (c, r, m, ranges))
+              (triple
+                 (int_bound (n_clients - 1))
+                 (int_bound (n_rids - 1))
+                 (oneofl all_modes))
+              gen_ranges );
+          (2, map (fun k -> `Ack k) (int_bound 30));
+          (3, map (fun k -> `Release k) (int_bound 30));
+          ( 1,
+            map2
+              (fun k m -> `Downgrade (k, m))
+              (int_bound 30) (oneofl all_modes) );
+          ( 1,
+            map2
+              (fun c r -> `Sync (c, r))
+              (int_bound (n_clients - 1))
+              (int_bound (n_rids - 1)) );
+        ])
+  in
+  let print_op = function
+    | `Req (c, r, m, ranges) ->
+        Printf.sprintf "req c%d r%d %s %s" c r (Mode.to_string m)
+          (String.concat ","
+             (List.map
+                (fun (i : Interval.t) ->
+                  Printf.sprintf "[%d,%d)" i.Interval.lo i.Interval.hi)
+                ranges))
+    | `Ack k -> Printf.sprintf "ack#%d" k
+    | `Release k -> Printf.sprintf "release#%d" k
+    | `Downgrade (k, m) -> Printf.sprintf "downgrade#%d->%s" k (Mode.to_string m)
+    | `Sync (c, r) -> Printf.sprintf "sync c%d r%d" c r
+  in
+  Test.make
+    ~name:"indexed lock server == list reference (grants, SNs, queues)"
+    ~count:400
+    (make
+       ~print:(fun (p, ops) ->
+         Printf.sprintf "policy=%s\n%s" (List.nth model_policies p).Policy.name
+           (String.concat "\n" (List.map print_op ops)))
+       Gen.(
+         pair
+           (int_bound (List.length model_policies - 1))
+           (list_size (int_range 1 40) gen_op)))
+    (fun (p, ops) ->
+      let policy = List.nth model_policies p in
+      let eng = Engine.create () in
+      (* Dummy revocation callbacks: couriers are spawned but the engine
+         never runs, so nothing is ever delivered — the test itself plays
+         the clients, answering revokes out of the trace log. *)
+      let clients =
+        List.init n_clients (fun cid ->
+            let node =
+              Netsim.Node.create eng params
+                ~name:(Printf.sprintf "mc%d" cid)
+                ()
+            in
+            ( cid,
+              Netsim.Rpc.endpoint eng params ~node
+                ~name:(Printf.sprintf "mc%d.cb" cid)
+                ~handler:(fun _ ~reply -> reply ()) ))
+      in
+      let idx = indexed_side eng ~policy ~clients in
+      let re = reference_side eng ~policy ~clients in
+      List.for_all
+        (fun op ->
+          apply_op idx op;
+          apply_op re op;
+          sides_agree ~n_rids idx re)
+        ops)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ()) in
   [
@@ -851,6 +1181,7 @@ let suite =
           test_lcm_golden_table;
         Alcotest.test_case "ranges_overlap" `Quick test_ranges_overlap;
         Alcotest.test_case "normalize_ranges" `Quick test_normalize_ranges;
+        q prop_ranges_overlap_oracle;
         q prop_lcm_table2_symmetry;
       ] );
     ( "dlm.protocol",
@@ -898,5 +1229,6 @@ let suite =
         Alcotest.test_case "sync_resource" `Quick test_sync_resource;
         q prop_random_protocol;
         q prop_grant_contract;
+        q prop_indexed_matches_reference;
       ] );
   ]

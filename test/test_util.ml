@@ -374,6 +374,196 @@ let test_content_holes () =
   | _ -> Alcotest.fail "expected hole/data/hole"
 
 (* ------------------------------------------------------------------ *)
+(* Dllist                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_dllist_fifo () =
+  let l = Dllist.create () in
+  Alcotest.(check bool) "empty" true (Dllist.is_empty l);
+  let n1 = Dllist.push_back l 1 in
+  let n2 = Dllist.push_back l 2 in
+  let _n3 = Dllist.push_back l 3 in
+  Dllist.check_invariants l;
+  Alcotest.(check int) "length" 3 (Dllist.length l);
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (Dllist.to_list l);
+  (* O(1) removal from the middle *)
+  Dllist.remove l n2;
+  Dllist.check_invariants l;
+  Alcotest.(check (list int)) "mid removed" [ 1; 3 ] (Dllist.to_list l);
+  Alcotest.(check bool) "inactive" false (Dllist.active n2);
+  Alcotest.(check bool) "still active" true (Dllist.active n1);
+  Alcotest.check_raises "double remove rejected"
+    (Invalid_argument "Dllist.remove: node already removed") (fun () ->
+      Dllist.remove l n2);
+  Alcotest.(check int) "value survives removal" 2 (Dllist.value n2)
+
+let test_dllist_iter_safe_against_removal () =
+  (* [iter] must survive the body unlinking the node it is visiting —
+     the lock server grants (and unlinks) waiters mid-iteration. *)
+  let l = Dllist.create () in
+  let nodes = List.map (Dllist.push_back l) [ 1; 2; 3; 4 ] in
+  let seen = ref [] in
+  Dllist.iter
+    (fun v ->
+      seen := v :: !seen;
+      if v mod 2 = 0 then
+        Dllist.remove l (List.nth nodes (v - 1)))
+    l;
+  Alcotest.(check (list int)) "visited all" [ 1; 2; 3; 4 ] (List.rev !seen);
+  Alcotest.(check (list int)) "odd survivors" [ 1; 3 ] (Dllist.to_list l);
+  Dllist.check_invariants l
+
+(* Model-based: a Dllist under random push/remove agrees with a plain
+   list of (id, value) pairs. *)
+let prop_dllist_matches_model =
+  let open QCheck in
+  let op = Gen.(oneof [ return `Push; return `Remove_mid; return `Remove_head ]) in
+  let print_op = function
+    | `Push -> "push"
+    | `Remove_mid -> "rm-mid"
+    | `Remove_head -> "rm-head"
+  in
+  Test.make ~name:"dllist agrees with list model" ~count:300
+    (make ~print:Print.(list print_op) (Gen.list_size (Gen.int_range 1 60) op))
+    (fun ops ->
+      let l = Dllist.create () in
+      let nodes = ref [] (* (id, node) newest first *) in
+      let model = ref [] (* ids, queue order *) in
+      let next = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push ->
+              let id = !next in
+              incr next;
+              nodes := (id, Dllist.push_back l id) :: !nodes;
+              model := !model @ [ id ]
+          | `Remove_mid | `Remove_head -> (
+              let live =
+                List.filter (fun (_, n) -> Dllist.active n) !nodes
+              in
+              match (op, List.rev live) with
+              | _, [] -> ()
+              | `Remove_head, (id, n) :: _ | _, _ :: (id, n) :: _ | _, [ (id, n) ]
+                ->
+                  Dllist.remove l n;
+                  model := List.filter (fun x -> x <> id) !model))
+        ops;
+      Dllist.check_invariants l;
+      Dllist.to_list l = !model
+      && Dllist.length l = List.length !model
+      && Dllist.fold (fun acc x -> acc + x) l 0
+         = List.fold_left ( + ) 0 !model)
+
+(* ------------------------------------------------------------------ *)
+(* Interval_index                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ii_add m lo hi id = Interval_index.add m (iv lo hi) ~id id
+
+let ii_hits m q =
+  Interval_index.fold_overlapping m q ~init:[] ~f:(fun acc _ id _ -> id :: acc)
+  |> List.sort Int.compare
+
+let test_interval_index_basic () =
+  let m =
+    ii_add (ii_add (ii_add Interval_index.empty 0 10 1) 5 15 2) 20 30 3
+  in
+  Interval_index.check_invariants m;
+  Alcotest.(check int) "cardinal" 3 (Interval_index.cardinal m);
+  Alcotest.(check (list int)) "stacked overlap" [ 1; 2 ] (ii_hits m (iv 6 9));
+  Alcotest.(check (list int)) "gap" [] (ii_hits m (iv 15 20));
+  Alcotest.(check (list int))
+    "touching is not overlap" [ 3 ]
+    (ii_hits m (iv 20 21));
+  Alcotest.(check (list int)) "all" [ 1; 2; 3 ] (ii_hits m (iv 0 100));
+  let m = Interval_index.remove m (iv 5 15) ~id:2 in
+  Interval_index.check_invariants m;
+  Alcotest.(check (list int)) "after removal" [ 1 ] (ii_hits m (iv 6 9))
+
+let test_interval_index_duplicates_rejected () =
+  let m = ii_add Interval_index.empty 0 10 7 in
+  Alcotest.check_raises "duplicate (lo,id)"
+    (Invalid_argument "Interval_index.add: duplicate entry (lo=0, id=7)")
+    (fun () -> ignore (ii_add m 0 99 7));
+  (* same lo, different id: fine — shared locks stack *)
+  let m2 = ii_add m 0 10 8 in
+  Alcotest.(check int) "stacked" 2 (Interval_index.cardinal m2);
+  Alcotest.check_raises "absent entry"
+    (Invalid_argument "Interval_index.remove: no entry (lo=3, id=7)")
+    (fun () -> ignore (Interval_index.remove m (iv 3 10) ~id:7))
+
+(* Model-based: overlap queries against a naive association list, under
+   random add/remove — including many duplicate extents (shared locks
+   piling up on the same range, the shape that motivates the (lo, id)
+   key). *)
+let prop_interval_index_matches_model =
+  let open QCheck in
+  let bound = 64 in
+  let genop =
+    Gen.(
+      oneof
+        [
+          map2 (fun lo len -> `Add (lo, lo + len)) (int_bound (bound - 2))
+            (int_range 1 16);
+          map (fun i -> `Remove i) (int_bound 30);
+          map2 (fun lo len -> `Query (lo, lo + len)) (int_bound (bound - 2))
+            (int_range 1 16);
+        ])
+  in
+  let print_op = function
+    | `Add (lo, hi) -> Printf.sprintf "add[%d,%d)" lo hi
+    | `Remove i -> Printf.sprintf "rm#%d" i
+    | `Query (lo, hi) -> Printf.sprintf "q[%d,%d)" lo hi
+  in
+  Test.make ~name:"interval_index agrees with naive list" ~count:300
+    (make ~print:Print.(list print_op)
+       (Gen.list_size (Gen.int_range 1 60) genop))
+    (fun ops ->
+      let next = ref 0 in
+      let model = ref [] (* (interval, id) *) in
+      let ok = ref true in
+      let m =
+        List.fold_left
+          (fun m op ->
+            match op with
+            | `Add (lo, hi) ->
+                let id = !next in
+                incr next;
+                model := (iv lo hi, id) :: !model;
+                Interval_index.add m (iv lo hi) ~id id
+            | `Remove k -> (
+                (* remove the k-th live entry, if any *)
+                match List.nth_opt !model k with
+                | None -> m
+                | Some (ivl, id) ->
+                    model := List.filter (fun (_, i) -> i <> id) !model;
+                    Interval_index.remove m ivl ~id)
+            | `Query (lo, hi) ->
+                let got =
+                  Interval_index.fold_overlapping m (iv lo hi) ~init:[]
+                    ~f:(fun acc _ id _ -> id :: acc)
+                  |> List.sort Int.compare
+                in
+                let want =
+                  List.filter_map
+                    (fun (ivl, id) ->
+                      if Interval.overlaps ivl (iv lo hi) then Some id else None)
+                    !model
+                  |> List.sort Int.compare
+                in
+                if got <> want then ok := false;
+                m)
+          Interval_index.empty ops
+      in
+      Interval_index.check_invariants m;
+      !ok
+      && Interval_index.cardinal m = List.length !model
+      && Interval_index.to_list m |> List.map (fun (_, id, _) -> id)
+         |> List.sort Int.compare
+         = (List.map snd !model |> List.sort Int.compare))
+
+(* ------------------------------------------------------------------ *)
 (* Stats / Table / Units / Det_random                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -392,6 +582,64 @@ let test_stats_empty () =
   let s = Stats.create () in
   Alcotest.(check (float 0.)) "mean empty" 0. (Stats.mean s);
   Alcotest.(check (float 0.)) "pct empty" 0. (Stats.percentile s 50.)
+
+(* Hand-computed nearest-rank fixtures, including the edges the old
+   index arithmetic got wrong. *)
+let test_stats_percentile_edges () =
+  let of_list l =
+    let s = Stats.create () in
+    List.iter (Stats.add s) l;
+    s
+  in
+  let check name s p want =
+    Alcotest.(check (float 0.)) name want (Stats.percentile s p)
+  in
+  (* n = 1: every percentile is the sample *)
+  let s1 = of_list [ 42. ] in
+  check "n=1 p0" s1 0. 42.;
+  check "n=1 p50" s1 50. 42.;
+  check "n=1 p100" s1 100. 42.;
+  (* n = 2: ranks split at exactly p = 50 *)
+  let s2 = of_list [ 10.; 20. ] in
+  check "n=2 p0" s2 0. 10.;
+  check "n=2 p50" s2 50. 10.;
+  check "n=2 p50.1" s2 50.1 20.;
+  check "n=2 p100" s2 100. 20.;
+  (* n = 4, unsorted insert order *)
+  let s4 = of_list [ 4.; 1.; 3.; 2. ] in
+  check "n=4 p25" s4 25. 1.;
+  check "n=4 p26" s4 26. 2.;
+  check "n=4 p75" s4 75. 3.;
+  check "n=4 p76" s4 76. 4.;
+  (* binary float noise: 7/100*300 = 21.000000000000004, whose bare
+     ceil picked sample 22 instead of 21 *)
+  let s300 = of_list (List.init 300 (fun i -> float_of_int (i + 1))) in
+  check "n=300 p7 (float noise)" s300 7. 21.;
+  check "n=300 p50" s300 50. 150.;
+  check "n=300 p100" s300 100. 300.;
+  (* out-of-range p clamps instead of indexing out of bounds *)
+  check "p<0 clamps" s4 (-5.) 1.;
+  check "p>100 clamps" s4 200. 4.
+
+(* Nearest-rank definition checked directly against its spec: the
+   result is the smallest sample whose 1-based rank i has i/n >= p/100. *)
+let prop_stats_percentile_nearest_rank =
+  let open QCheck in
+  Test.make ~name:"percentile matches nearest-rank spec" ~count:300
+    (make
+       ~print:Print.(pair (list int) int)
+       Gen.(pair (list_size (int_range 1 50) (int_bound 100)) (int_bound 100)))
+    (fun (xs, p) ->
+      let s = Stats.create () in
+      List.iter (fun x -> Stats.add s (float_of_int x)) xs;
+      let sorted = List.sort compare (List.map float_of_int xs) in
+      let n = List.length sorted in
+      let rank =
+        (* smallest i (1-based) with i * 100 >= p * n, in exact integer
+           arithmetic, clamped to [1, n] *)
+        Stdlib.max 1 (Stdlib.min n (((p * n) + 99) / 100))
+      in
+      Stats.percentile s (float_of_int p) = List.nth sorted (rank - 1))
 
 let test_units () =
   Alcotest.(check string) "64KiB" "64KiB" (Units.bytes_to_string (64 * 1024));
@@ -480,10 +728,27 @@ let suite =
           test_content_equal_checksum;
         Alcotest.test_case "holes" `Quick test_content_holes;
       ] );
+    ( "util.dllist",
+      [
+        Alcotest.test_case "fifo push/remove" `Quick test_dllist_fifo;
+        Alcotest.test_case "iter safe against removal" `Quick
+          test_dllist_iter_safe_against_removal;
+        q prop_dllist_matches_model;
+      ] );
+    ( "util.interval_index",
+      [
+        Alcotest.test_case "overlap queries" `Quick test_interval_index_basic;
+        Alcotest.test_case "duplicate and absent entries" `Quick
+          test_interval_index_duplicates_rejected;
+        q prop_interval_index_matches_model;
+      ] );
     ( "util.misc",
       [
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "stats empty" `Quick test_stats_empty;
+        Alcotest.test_case "percentile edges" `Quick
+          test_stats_percentile_edges;
+        q prop_stats_percentile_nearest_rank;
         Alcotest.test_case "units" `Quick test_units;
         Alcotest.test_case "table render" `Quick test_table_render;
         Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
