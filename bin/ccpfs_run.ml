@@ -199,7 +199,16 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"BUG" ~doc)
   in
-  let run count seed shrink inject_name =
+  let faults_arg =
+    let doc =
+      "Force online fault schedules: every case gets nonzero message \
+       loss/duplication on the fenced transport plus at least one \
+       mid-phase lock-server crash, recovered live by the lib/ha \
+       failover layer while client requests are in flight."
+    in
+    Arg.(value & flag & info [ "faults" ] ~doc)
+  in
+  let run count seed shrink inject_name faults =
     let inject =
       match inject_name with
       | None -> Ok None
@@ -222,14 +231,15 @@ let fuzz_cmd =
           if k mod 25 = 0 || k = total then
             Printf.printf "fuzz: %d/%d seeds ok\n%!" k total
         in
-        Printf.printf "fuzz: seeds %d..%d%s\n%!" base
+        Printf.printf "fuzz: seeds %d..%d%s%s\n%!" base
           (base + count - 1)
           (match inject with
           | Some i -> " (injecting " ^ Fuzz.Exec.inject_to_string i ^ ")"
-          | None -> "");
+          | None -> "")
+          (if faults then " (forced online faults)" else "");
         let summary =
-          Fuzz.Driver.run_range ?inject ~shrink_budget:shrink ~progress ~base
-            ~count ()
+          Fuzz.Driver.run_range ?inject ~faults ~shrink_budget:shrink
+            ~progress ~base ~count ()
         in
         Obs.Results.add (Fuzz.Driver.result_row ~base summary);
         let n =
@@ -260,7 +270,9 @@ let fuzz_cmd =
          "Fuzz the simulated cluster: randomized configs, workloads and \
           fault schedules under determinism, invariant, shadow-file and \
           analytic oracles")
-    Term.(ret (const run $ count_arg $ seed_arg $ shrink_arg $ inject_arg))
+    Term.(
+      ret (const run $ count_arg $ seed_arg $ shrink_arg $ inject_arg
+           $ faults_arg))
 
 let () =
   let info =

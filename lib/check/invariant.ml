@@ -111,6 +111,14 @@ let monitor_sn srv =
                 "%s r%d issued write sn %d after already issuing %d"
                 (Lock_server.name srv) g.rid g.sn prev
           | _ -> Hashtbl.replace last g.rid g.sn)
+      | Lock_server.T_crash _ ->
+          (* An online crash legitimately forgets SNs that no one can
+             ever use: a write grant lost in flight is invisible to the
+             recovery gather, and the epoch fence guarantees its SN
+             orders no data.  Monotonicity restarts from the recovered
+             floor — which the recovery-sn-floor invariant (extent log +
+             reinstalled write grants) checks independently. *)
+          Hashtbl.reset last
       | _ -> ())
 
 (* A client may hold dirty data only under the protection of a cached

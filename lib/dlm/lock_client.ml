@@ -23,6 +23,21 @@ type cached_lock = {
 
 type handle = cached_lock
 
+type recovery_query = {
+  rq_server : string;
+  rq_epoch : int;
+  rq_endpoints : string list;
+}
+
+type recovery_lock = {
+  r_rid : Types.resource_id;
+  r_lock_id : int;
+  r_mode : Mode.t;
+  r_ranges : Interval.t list;
+  r_sn : int;
+  r_state : Lcm.lock_state;
+}
+
 type t = {
   eng : Engine.t;
   params : Params.t;
@@ -35,6 +50,9 @@ type t = {
   registered : (string, unit) Hashtbl.t;
   pending_revokes : (Types.resource_id * int, unit) Hashtbl.t;
   mutable revoke_ep : (Types.server_msg, unit) Rpc.endpoint option;
+  mutable recover_ep : (recovery_query, recovery_lock list) Rpc.endpoint option;
+  view : Rpc.View.t;
+  mutable rel : Rpc.reliability option;
   mutable locking : float;
   mutable n_acquires : int;
   mutable n_hits : int;
@@ -63,8 +81,18 @@ let server t rid =
   end;
   srv
 
+(* Control messages (release / downgrade / revoke-ack) are fire-and-
+   forget.  Under the HA regime they must also be *reliable*: a Release
+   dropped during a server outage — after the recovery coordinator has
+   gathered this client's locks — would leave the reinstalled grant held
+   forever.  The server-side handlers no-op on unknown lock ids, so a
+   retransmission landing after recovery is always safe regardless of
+   whether the lock was gathered. *)
 let send_ctl t srv msg =
-  Rpc.notify (Lock_server.ctl_endpoint srv) ~src:t.node msg
+  let ep = Lock_server.ctl_endpoint srv in
+  match t.rel with
+  | None -> Rpc.notify ep ~src:t.node msg
+  | Some rel -> Rpc.send_reliable ep ~src:t.node ~reliability:rel ~view:t.view msg
 
 (* The cancel path (§III-A2, §III-D2).  Runs as its own process: waits
    out ongoing holders, downgrades, flushes, releases. *)
@@ -145,6 +173,35 @@ let handle_revoke t (msg : Types.server_msg) =
              apply when the grant arrives. *)
           Hashtbl.replace t.pending_revokes (rid, lock_id) ())
 
+let locks_for_recovery t ~owned =
+  Hashtbl.fold
+    (fun (rid, _) (l : cached_lock) acc ->
+      if owned rid then
+        {
+          r_rid = rid;
+          r_lock_id = l.lock_id;
+          r_mode = l.cmode;
+          r_ranges = l.ranges;
+          r_sn = l.csn;
+          r_state = l.state;
+        }
+        :: acc
+      else acc)
+    t.locks []
+  |> List.sort (fun a b -> compare (a.r_rid, a.r_lock_id) (b.r_rid, b.r_lock_id))
+
+(* The recovery coordinator's gather RPC (§IV-C2, online).  Bumping the
+   view first is the fencing half: any grant from the crashed epoch still
+   in flight towards this client arrives with an older epoch stamp and is
+   discarded by its retry loop — so no lock unknown to the recovered
+   server can be installed after we reported our cached set. *)
+let handle_recovery_query t (q : recovery_query) =
+  List.iter (fun ep -> Rpc.View.observe t.view ep q.rq_epoch) q.rq_endpoints;
+  let owned rid =
+    Node.name (Lock_server.node (t.route rid)) = q.rq_server
+  in
+  locks_for_recovery t ~owned
+
 let create eng params ~node ~client_id ~route ~hooks =
   let t =
     {
@@ -154,6 +211,9 @@ let create eng params ~node ~client_id ~route ~hooks =
       registered = Hashtbl.create 8;
       pending_revokes = Hashtbl.create 8;
       revoke_ep = None;
+      recover_ep = None;
+      view = Rpc.View.create ~salt:client_id ();
+      rel = None;
       locking = 0.;
       n_acquires = 0;
       n_hits = 0;
@@ -166,6 +226,11 @@ let create eng params ~node ~client_id ~route ~hooks =
          ~handler:(fun msg ~reply ->
            handle_revoke t msg;
            reply ()));
+  t.recover_ep <-
+    Some
+      (Rpc.endpoint eng params ~node
+         ~name:(Printf.sprintf "c%d.recover" client_id)
+         ~handler:(fun q ~reply -> reply (handle_recovery_query t q)));
   t
 
 let covers (l : cached_lock) ranges =
@@ -228,9 +293,15 @@ let acquire t ~rid ~mode ~ranges =
   | None ->
       let srv = server t rid in
       let t0 = Engine.now t.eng in
+      let req = { Types.client = t.id; rid; mode; ranges } in
+      let ep = Lock_server.lock_endpoint srv in
       let grant =
-        Rpc.call (Lock_server.lock_endpoint srv) ~src:t.node
-          { Types.client = t.id; rid; mode; ranges }
+        match t.rel with
+        | None -> Rpc.call ep ~src:t.node req
+        | Some rel ->
+            (* Fenced + retried: survives a server crash while the request
+               (or its grant) is in flight. *)
+            Rpc.call_reliable ep ~src:t.node ~reliability:rel ~view:t.view req
       in
       t.locking <- t.locking +. (Engine.now t.eng -. t0);
       install_grant t grant
@@ -257,32 +328,6 @@ let with_lock t ~rid ~mode ~ranges f =
       release t h;
       raise e
 
-type recovery_lock = {
-  r_rid : Types.resource_id;
-  r_lock_id : int;
-  r_mode : Mode.t;
-  r_ranges : Interval.t list;
-  r_sn : int;
-  r_state : Lcm.lock_state;
-}
-
-let locks_for_recovery t ~owned =
-  Hashtbl.fold
-    (fun (rid, _) (l : cached_lock) acc ->
-      if owned rid then
-        {
-          r_rid = rid;
-          r_lock_id = l.lock_id;
-          r_mode = l.cmode;
-          r_ranges = l.ranges;
-          r_sn = l.csn;
-          r_state = l.state;
-        }
-        :: acc
-      else acc)
-    t.locks []
-  |> List.sort (fun a b -> compare (a.r_rid, a.r_lock_id) (b.r_rid, b.r_lock_id))
-
 let sn h = (resolve h).csn
 let mode h = (resolve h).cmode
 let granted_ranges h = (resolve h).ranges
@@ -293,3 +338,8 @@ let cache_hits t = t.n_hits
 let cancels t = t.n_cancels
 let cached_locks t = Hashtbl.length t.locks
 let client_id t = t.id
+let view t = t.view
+let set_reliability t rel = t.rel <- Some rel
+let reliability t = t.rel
+let retries t = Rpc.View.retries t.view
+let recovery_endpoint t = Option.get t.recover_ep

@@ -82,6 +82,37 @@ val locks_for_recovery :
 (** The cached locks whose resources the recovering server owns
     (canceling locks included: their releases are still coming). *)
 
+(** {1 Online failover (lib/ha)}
+
+    With a retry policy installed, lock requests go through the fenced
+    transport ({!Netsim.Rpc.call_reliable}) and control messages become
+    reliable sends — the client survives a lock-server crash with
+    requests in flight.  Without one, behaviour is identical to the
+    plain paths. *)
+
+val set_reliability : t -> Netsim.Rpc.reliability -> unit
+val reliability : t -> Netsim.Rpc.reliability option
+
+val view : t -> Netsim.Rpc.View.t
+(** The client's epoch view and request-id allocator, shared with the
+    PFS layer so data-server I/O is fenced by the same epochs. *)
+
+val retries : t -> int
+(** Fenced-call retransmissions performed so far (all endpoints). *)
+
+type recovery_query = {
+  rq_server : string;  (** node name of the crashed server, e.g. ["ds0"] *)
+  rq_epoch : int;  (** the recovery epoch being installed *)
+  rq_endpoints : string list;  (** endpoint names to fence in the view *)
+}
+
+val recovery_endpoint :
+  t -> (recovery_query, recovery_lock list) Netsim.Rpc.endpoint
+(** The gather service the recovery coordinator calls.  Its handler first
+    raises the client's epoch view over [rq_endpoints] — fencing off any
+    still-in-flight grant from the crashed epoch — and then reports
+    {!locks_for_recovery} for the resources routed to [rq_server]. *)
+
 (** {1 Instrumentation} *)
 
 val locking_seconds : t -> float

@@ -73,6 +73,7 @@ type trace_event =
   | T_release of { t_rid : Types.resource_id; t_lock_id : int }
   | T_downgrade of { t_rid : Types.resource_id; t_lock_id : int;
                      t_mode : Mode.t }
+  | T_crash of { t_dropped_waiters : int }
 
 type t = {
   eng : Engine.t;
@@ -211,6 +212,8 @@ let obs_emit t sink ev =
       inst "lock.downgrade"
         [ ("rid", Int t_rid); ("lock_id", Int t_lock_id);
           ("mode", Str (Mode.to_string t_mode)) ]
+  | T_crash { t_dropped_waiters } ->
+      inst "lock.crash" [ ("dropped_waiters", Int t_dropped_waiters) ]
 
 let trace t ev =
   (match t.tracer with
@@ -659,6 +662,20 @@ let crash t =
     (sorted_resources t);
   Hashtbl.reset t.resources
 
+let crash_online t =
+  (* Unlike [crash], queued waiters are allowed — and lost with the rest
+     of the table.  Safe only when every waiter's caller retransmits (the
+     fenced retry path): its resubmission re-enqueues the request on the
+     recovered server and re-triggers any revocations it needs. *)
+  let dropped =
+    List.fold_left
+      (fun acc (_, rs) -> acc + Dllist.length rs.waiting)
+      0 (sorted_resources t)
+  in
+  Hashtbl.reset t.resources;
+  trace t (T_crash { t_dropped_waiters = dropped });
+  dropped
+
 let reinstall t ~client ~locks =
   List.iter
     (fun (rid, lock_id, mode, ranges, sn, state) ->
@@ -788,6 +805,9 @@ let pp_trace_event ppf = function
   | T_downgrade { t_rid; t_lock_id; t_mode } ->
       Format.fprintf ppf "downgrade r%d#%d -> %s" t_rid t_lock_id
         (Mode.to_string t_mode)
+  | T_crash { t_dropped_waiters } ->
+      Format.fprintf ppf "crash    lock table lost (%d queued waiter(s) \
+                          dropped)" t_dropped_waiters
 
 let check_invariants t =
   List.iter

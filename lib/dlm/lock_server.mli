@@ -95,6 +95,9 @@ type trace_event =
   | T_release of { t_rid : Types.resource_id; t_lock_id : int }
   | T_downgrade of { t_rid : Types.resource_id; t_lock_id : int;
                      t_mode : Mode.t }
+  | T_crash of { t_dropped_waiters : int }
+      (** [crash_online]: the volatile lock table (and any queued
+          waiters) was just lost *)
 
 val set_tracer : t -> (float -> trace_event -> unit) -> unit
 val pp_trace_event : Format.formatter -> trace_event -> unit
@@ -127,6 +130,13 @@ val crash : t -> unit
 (** Drop all lock state.  Only legal while no requests are queued (HPC
     recovery happens between runs, §IV-C2); raises [Invalid_argument] if
     a waiter would lose its reply. *)
+
+val crash_online : t -> int
+(** Drop all lock state {e including} queued waiters, returning how many
+    were dropped.  Only sound when every caller submits through the fenced
+    retry path ([Rpc.call_reliable]): a dropped waiter's client times out
+    and resubmits against the recovered epoch.  This is the crash the HA
+    layer injects under live traffic. *)
 
 val reinstall :
   t -> client:Types.client_id ->

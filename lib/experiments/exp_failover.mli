@@ -1,0 +1,7 @@
+(** Online failover under traffic: shared-file PW contention with a
+    mid-run lock-server crash, recovered live by [lib/ha].  Reports the
+    unavailability window (detection + recovery), retry cost and a
+    virtual-time throughput series; appends one row per run to
+    [BENCH_failover.json] (schema ["ccpfs.failover/1"]). *)
+
+val run : scale:float -> unit

@@ -42,7 +42,13 @@ let run ~scale =
       let pw_tp =
         match results with
         | ("PW", r) :: _ -> float_of_int total_writes /. r.Harness.pio
-        | _ -> assert false
+        | rs ->
+            Ccpfs.Protocol_error.fail ~endpoint:"exp_fig18"
+              ~request:"PW baseline first in variant results"
+              ~got:
+                (match rs with
+                | [] -> "empty result list"
+                | (label, _) :: _ -> Printf.sprintf "head variant %S" label)
       in
       List.iter
         (fun (label, (r : Harness.result)) ->

@@ -84,7 +84,13 @@ let run ~scale =
       let pw_tp =
         match results with
         | ("PW", r) :: _ -> float_of_int (16 * writes_each) /. r.Harness.pio
-        | _ -> assert false
+        | rs ->
+            Protocol_error.fail ~endpoint:"exp_fig19"
+              ~request:"PW baseline first in variant results"
+              ~got:
+                (match rs with
+                | [] -> "empty result list"
+                | (label, _) :: _ -> Printf.sprintf "head variant %S" label)
       in
       List.iter
         (fun (label, (r : Harness.result)) ->

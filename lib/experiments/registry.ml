@@ -102,6 +102,16 @@ let all =
       run = Exp_scale.run;
     };
     {
+      id = "failover";
+      title = "Failover: live lock-server crash under shared-file contention";
+      paper_claim =
+        "§IV-C2 recovery rebuilds the lock table from client caches; with \
+         lib/ha the rebuild runs online behind an epoch fence while \
+         in-flight clients retry";
+      default_scale = 1.0;
+      run = Exp_failover.run;
+    };
+    {
       id = "safety";
       title = "§V-B1: data safety";
       paper_claim = "ior-hard readback and overlapping-write checksums always correct";

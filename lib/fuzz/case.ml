@@ -4,7 +4,11 @@ type op =
   | Append of { blocks : int }
   | Truncate of { blocks : int }
 
-type phase = { ops : op list array; crash_server : int option }
+type phase = {
+  ops : op list array;
+  crash_server : int option;
+  crash_mid : (int * float) option;
+}
 
 type sim = {
   policy_idx : int;
@@ -17,6 +21,8 @@ type sim = {
   extent_cache_limit : int;
   tie_random : bool;
   jitter : float;
+  loss : float;
+  dup : float;
   phases : phase list;
 }
 
@@ -53,6 +59,19 @@ let crash_count t =
         (fun acc p -> acc + match p.crash_server with Some _ -> 1 | None -> 0)
         0 s.phases
 
+let mid_crash_count t =
+  match t.kind with
+  | Analytic _ -> 0
+  | Sim s ->
+      List.fold_left
+        (fun acc p -> acc + match p.crash_mid with Some _ -> 1 | None -> 0)
+        0 s.phases
+
+(* Does this case need the fenced transport (retries, failover)? *)
+let online (s : sim) =
+  s.loss > 0. || s.dup > 0.
+  || List.exists (fun p -> p.crash_mid <> None) s.phases
+
 let summary t =
   match t.kind with
   | Analytic a ->
@@ -62,9 +81,13 @@ let summary t =
   | Sim s ->
       Printf.sprintf
         "seed %d: %s, %d client(s) x %d server(s), %d stripe(s), %d phase(s), \
-         %d op(s), %d crash(es)"
+         %d op(s), %d crash(es), %d mid-crash(es)%s"
         t.seed (policy_of s).Seqdlm.Policy.name s.n_clients s.n_servers
         s.stripes (List.length s.phases) (sim_op_count s) (crash_count t)
+        (mid_crash_count t)
+        (if s.loss > 0. || s.dup > 0. then
+           Printf.sprintf ", loss %.3f dup %.3f" s.loss s.dup
+         else "")
 
 let pp_op ppf = function
   | Write { block; blocks } ->
@@ -80,12 +103,16 @@ let pp ppf t =
   | Sim s ->
       Format.fprintf ppf
         "  dirty %d/%d pages, extent-cache limit %d, tie_random %b, jitter \
-         %gs@,"
+         %gs, loss %g, dup %g@,"
         s.dirty_min_blocks s.dirty_max_blocks s.extent_cache_limit s.tie_random
-        s.jitter;
+        s.jitter s.loss s.dup;
       List.iteri
         (fun pi (p : phase) ->
-          Format.fprintf ppf "  phase %d%s:@," pi
+          Format.fprintf ppf "  phase %d%s%s:@," pi
+            (match p.crash_mid with
+            | Some (srv, d) ->
+                Printf.sprintf " (crash server %d at +%gs)" srv d
+            | None -> "")
             (match p.crash_server with
             | Some srv -> Printf.sprintf " (then crash server %d)" srv
             | None -> "");
@@ -159,6 +186,8 @@ let to_json t =
             ("extent_cache_limit", Int s.extent_cache_limit);
             ("tie_random", Bool s.tie_random);
             ("jitter", Float s.jitter);
+            ("loss", Float s.loss);
+            ("dup", Float s.dup);
             ( "phases",
               List
                 (List.map
@@ -173,6 +202,11 @@ let to_json t =
                          ( "crash_server",
                            match p.crash_server with
                            | Some s -> Int s
+                           | None -> Null );
+                         ( "crash_mid",
+                           match p.crash_mid with
+                           | Some (srv, d) ->
+                               Obj [ ("server", Int srv); ("after", Float d) ]
                            | None -> Null );
                        ])
                    s.phases) );
@@ -228,6 +262,7 @@ let to_ocaml_test t =
         s.dirty_max_blocks s.extent_cache_limit;
       add "        tie_random = %b; jitter = %s;\n" s.tie_random
         (ml_float s.jitter);
+      add "        loss = %s; dup = %s;\n" (ml_float s.loss) (ml_float s.dup);
       add "        phases =\n          [\n";
       List.iter
         (fun (p : phase) ->
@@ -238,9 +273,13 @@ let to_ocaml_test t =
                 (String.concat "; " (List.map ml_op ops)))
             p.ops;
           add "                |];\n";
-          add "              crash_server = %s };\n"
+          add "              crash_server = %s;\n"
             (match p.crash_server with
             | Some srv -> Printf.sprintf "Some %d" srv
+            | None -> "None");
+          add "              crash_mid = %s };\n"
+            (match p.crash_mid with
+            | Some (srv, d) -> Printf.sprintf "Some (%d, %s)" srv (ml_float d)
             | None -> "None"))
         s.phases;
       add "          ] }\n";

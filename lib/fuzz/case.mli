@@ -18,6 +18,10 @@ type phase = {
   ops : op list array;  (** per client, index = client id *)
   crash_server : int option;
       (** crash and recover this server after the phase completes *)
+  crash_mid : (int * float) option;
+      (** [(server, delay)]: kill this server [delay] seconds into the
+          phase, {e while client requests are in flight} — failure
+          detection and online recovery ([lib/ha]) bring it back *)
 }
 
 (** A randomized cluster run: every client executes its per-phase op
@@ -34,6 +38,8 @@ type sim = {
   extent_cache_limit : int;
   tie_random : bool;  (** random (legal) choice among same-time events *)
   jitter : float;  (** extra random event delay, seconds; 0 = none *)
+  loss : float;  (** fenced-RPC message-loss probability, [0..1] *)
+  dup : float;  (** fenced-RPC duplication probability, [0..1] *)
   phases : phase list;
 }
 
@@ -55,6 +61,14 @@ val op_count : t -> int
 
 val client_count : t -> int
 val crash_count : t -> int
+
+val mid_crash_count : t -> int
+(** Mid-phase (online) crashes, counted separately from the quiescent
+    [crash_server] ones. *)
+
+val online : sim -> bool
+(** True when the case needs the fenced transport: any message faults or
+    any mid-phase crash. *)
 
 val summary : t -> string
 (** One-line human description for progress logs. *)

@@ -18,11 +18,13 @@ type summary = {
 }
 
 val run_range :
-  ?inject:Exec.inject -> ?shrink_budget:int ->
+  ?inject:Exec.inject -> ?faults:bool -> ?shrink_budget:int ->
   ?progress:(int -> int -> unit) -> base:int -> count:int -> unit -> summary
 (** Execute seeds [base .. base+count-1] in order, stopping at (and
     minimizing) the first failure.  [progress done total] is called
-    after every case. *)
+    after every case.  [~faults:true] forces every case into the online
+    fault mode (message loss + a mid-phase server crash), see
+    {!Gen.of_seed}. *)
 
 val repro_hint : failure -> string
 (** The replay command line: ["ccpfs_run fuzz --seed N --shrink"]. *)

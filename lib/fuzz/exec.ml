@@ -61,8 +61,12 @@ let assert_sn_floor cl srv =
       let next = Seqdlm.Lock_server.next_sn ls rid in
       let logged = Option.value (Data_server.max_logged_sn ds rid) ~default:0 in
       let reinstalled =
+        (* Write grants only: a read grant's [sn] is a snapshot of
+           [next_sn] taken without consuming it, so a fresh post-recovery
+           read legitimately carries sn = next_sn. *)
         List.fold_left
-          (fun m (v : Seqdlm.Lock_server.lock_view) -> max m v.v_sn)
+          (fun m (v : Seqdlm.Lock_server.lock_view) ->
+            if Seqdlm.Mode.is_write v.v_mode then max m v.v_sn else m)
           0
           (Seqdlm.Lock_server.granted_locks ls rid)
       in
@@ -92,12 +96,36 @@ let run_op shadow page c f (op : Case.op) =
    fingerprinting and metrics. *)
 let sim_pass ?inject (case : Case.t) (s : Case.sim) =
   let page = Config.default.page in
+  let online = Case.online s in
+  let reliability =
+    if online then Some (Netsim.Rpc.reliability_for case.params) else None
+  in
   let cl =
     Cluster.create ~params:case.params ~config:(config_of s)
-      ~policy:(Case.policy_of s) ~n_servers:s.n_servers
+      ~policy:(Case.policy_of s) ?reliability ~n_servers:s.n_servers
       ~n_clients:s.n_clients ()
   in
   let eng = Cluster.engine cl in
+  let ha = if online then Some (Ha.Failover.install cl) else None in
+  if s.loss > 0. || s.dup > 0. then begin
+    (* One stream for every loss/dup draw; the draw order is the
+       (deterministic) event order, so both determinism passes see the
+       same fault schedule. *)
+    let frng = Det_random.create ~seed:(case.seed lxor 0x3f41) in
+    let frand () = Det_random.float frng 1. in
+    for i = 0 to s.n_servers - 1 do
+      let ls = Cluster.lock_server cl i in
+      Netsim.Rpc.set_fault
+        (Seqdlm.Lock_server.lock_endpoint ls)
+        ~loss:s.loss ~dup:s.dup ~rng:frand;
+      Netsim.Rpc.set_fault
+        (Seqdlm.Lock_server.ctl_endpoint ls)
+        ~loss:s.loss ~dup:s.dup ~rng:frand;
+      Netsim.Rpc.set_fault
+        (Data_server.endpoint (Cluster.data_server cl i))
+        ~loss:s.loss ~dup:s.dup ~rng:frand
+    done
+  end;
   (* Legal nondeterminism, itself a deterministic function of the seed. *)
   if s.tie_random then
     Dessim.Engine.seed_nondeterminism ~max_jitter:s.jitter ~seed:case.seed eng
@@ -133,7 +161,29 @@ let sim_pass ?inject (case : Case.t) (s : Case.sim) =
                 List.iter (run_op shadow page c f) ops)
           end)
         ph.ops;
-      if !spawned then Check.Sanitize.run_cluster cl;
+      (match (ph.crash_mid, ha) with
+      | Some (srv, delay), Some ha ->
+          let srv = srv mod s.n_servers in
+          let tick = Ha.Detector.period (Ha.Failover.detector ha) in
+          (* A regular process: it also serves as the phase's liveness
+             barrier — Engine.run below cannot return until detection
+             and recovery have completed.  The barrier watches the
+             completed-failover count, not membership: between the crash
+             and the detector's declaration the membership table still
+             reads Up. *)
+          Dessim.Engine.spawn eng ~name:(Printf.sprintf "fuzz-crash-%d" srv)
+            (fun () ->
+              Dessim.Engine.sleep eng delay;
+              let before = List.length (Ha.Failover.records ha) in
+              ignore (Ha.Failover.crash ha srv);
+              while List.length (Ha.Failover.records ha) <= before do
+                Dessim.Engine.sleep eng tick
+              done)
+      | _ -> ());
+      if !spawned || ph.crash_mid <> None then Check.Sanitize.run_cluster cl;
+      (match ph.crash_mid with
+      | Some (srv, _) -> assert_sn_floor cl (srv mod s.n_servers)
+      | None -> ());
       match ph.crash_server with
       | Some srv ->
           let srv = srv mod s.n_servers in
@@ -233,4 +283,10 @@ let describe_exn = function
 let catch ?inject case =
   match run ?inject case with
   | o -> Ok o
-  | exception e -> Error (describe_exn e)
+  | exception e ->
+      (* Debug escape hatch: let the raw exception (and with
+         OCAMLRUNPARAM=b its backtrace) propagate instead of being
+         folded into a failure report. *)
+      if Sys.getenv_opt "CCPFS_FUZZ_RERAISE" <> None then
+        Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ());
+      Error (describe_exn e)

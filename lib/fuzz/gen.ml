@@ -67,7 +67,7 @@ let gen_sim_params rng =
     client_io_overhead;
   }
 
-let gen_sim seed rng =
+let gen_sim ?(faults = false) seed rng =
   let params = gen_sim_params rng in
   let policy_idx = Det_random.int rng (Array.length Case.policies) in
   let stripes = Det_random.pick rng [| 1; 1; 2; 4 |] in
@@ -96,8 +96,46 @@ let gen_sim seed rng =
     let crash_server =
       if crash then Some (Det_random.int rng n_servers) else None
     in
-    phases := { Case.ops; crash_server } :: !phases
+    phases := { Case.ops; crash_server; crash_mid = None } :: !phases
   done;
+  let phases = List.rev !phases in
+  (* Online-failure draws come after everything else so a given seed
+     produces the same workload shape it did before the ha layer
+     existed, just with faults layered on top. *)
+  let loss =
+    if faults then 0.01 +. Det_random.float rng 0.07
+    else if Det_random.int rng 5 = 0 then Det_random.float rng 0.05
+    else 0.
+  in
+  let dup =
+    if faults then Det_random.float rng 0.05
+    else if Det_random.int rng 5 = 0 then Det_random.float rng 0.03
+    else 0.
+  in
+  let gen_mid () =
+    (* Early enough to land among in-flight requests on most cases;
+       harmless (detector + recovery still run) if the phase already
+       went quiescent. *)
+    Some (Det_random.int rng n_servers, Det_random.float rng (200. *. params.rtt))
+  in
+  let phases =
+    List.map
+      (fun (p : Case.phase) ->
+        let want = if faults then Det_random.bool rng
+                   else Det_random.int rng 6 = 0 in
+        if want then { p with crash_mid = gen_mid () } else p)
+      phases
+  in
+  let phases =
+    (* Forcing mode (CI fault smoke) guarantees at least one online
+       crash per case. *)
+    if faults && not (List.exists (fun (p : Case.phase) -> p.Case.crash_mid <> None) phases)
+    then
+      match phases with
+      | p :: rest -> { p with crash_mid = gen_mid () } :: rest
+      | [] -> phases
+    else phases
+  in
   {
     Case.seed;
     params;
@@ -114,7 +152,9 @@ let gen_sim seed rng =
           extent_cache_limit;
           tie_random;
           jitter;
-          phases = List.rev !phases;
+          loss;
+          dup;
+          phases;
         };
   }
 
@@ -147,7 +187,11 @@ let gen_analytic seed rng =
     kind = Case.Analytic { a_clients; a_bytes = d };
   }
 
-let of_seed seed =
+let of_seed ?(faults = false) seed =
   let rng = Det_random.create ~seed in
-  if Det_random.int rng 20 = 0 then gen_analytic seed rng
-  else gen_sim seed rng
+  (* The analytic-vs-sim draw happens unconditionally to keep the rng
+     stream aligned; fault-forcing mode always takes the sim branch
+     (there is no online-failure story for the closed-form cases). *)
+  let analytic = Det_random.int rng 20 = 0 in
+  if analytic && not faults then gen_analytic seed rng
+  else gen_sim ~faults seed rng

@@ -13,7 +13,12 @@
     flushing), random event jitter and tie-breaking (legal
     nondeterminism), and random lock-server crash+recovery points. *)
 
-val of_seed : int -> Case.t
+val of_seed : ?faults:bool -> int -> Case.t
+(** [~faults:true] is the forcing mode behind [ccpfs_run fuzz --faults]:
+    every case is a sim with nonzero message loss and at least one
+    mid-phase (online) server crash.  Workload-shape draws are shared
+    with the default mode, so seed [n] keeps the op streams it has
+    always had — only the fault fields differ. *)
 
 val max_block : int
 (** Upper bound (pages) on any generated offset; bounds the shadow file. *)

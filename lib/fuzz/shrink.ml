@@ -91,6 +91,32 @@ let candidates (c : Case.t) =
                 })
           s.phases
       end;
+      (* Remove online (mid-phase) crashes, all at once then one by one. *)
+      if Case.mid_crash_count c > 0 then begin
+        add
+          {
+            s with
+            phases =
+              List.map
+                (fun (p : Case.phase) -> { p with crash_mid = None })
+                s.phases;
+          };
+        List.iteri
+          (fun pi (p : Case.phase) ->
+            if p.crash_mid <> None then
+              add
+                {
+                  s with
+                  phases =
+                    List.mapi
+                      (fun i (q : Case.phase) ->
+                        if i = pi then { q with crash_mid = None } else q)
+                      s.phases;
+                })
+          s.phases
+      end;
+      (* Remove the message faults. *)
+      if s.loss > 0. || s.dup > 0. then add { s with loss = 0.; dup = 0. };
       (* Collapse the layout. *)
       if s.stripes > 1 || s.n_servers > 1 then
         add { s with stripes = 1; n_servers = 1 };

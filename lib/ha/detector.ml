@@ -1,0 +1,79 @@
+open Dessim
+open Netsim
+
+type t = {
+  eng : Engine.t;
+  node : Node.t; (* the monitor's own node: heartbeats pay transport *)
+  membership : Membership.t;
+  hb : (unit, unit) Rpc.endpoint array;
+  period : float;
+  hb_timeout : float;
+  misses_allowed : int;
+  on_failure : int -> unit;
+  mutable detections : int;
+}
+
+let create eng ~node ~membership ~hb ~period ~hb_timeout ~misses_allowed
+    ~on_failure =
+  if period <= 0. || hb_timeout <= 0. then
+    invalid_arg "Detector.create: period and hb_timeout must be positive";
+  if misses_allowed < 1 then
+    invalid_arg "Detector.create: misses_allowed must be >= 1";
+  { eng; node; membership; hb; period; hb_timeout; misses_allowed; on_failure;
+    detections = 0 }
+
+(* One daemon per monitored server: ping, count consecutive misses, and
+   declare the failure once misses and lease expiry agree.  The daemon
+   keeps running across failovers — after recovery flips the server back
+   to Up it resumes heartbeating it. *)
+let monitor t i =
+  let misses = ref 0 in
+  let first_miss = ref 0. in
+  while true do
+    Engine.sleep t.eng t.period;
+    match Membership.state t.membership i with
+    | Membership.Down | Membership.Recovering -> misses := 0
+    | Membership.Up -> (
+        (* Heartbeats are fenced single attempts (no retries, no dedup):
+           a lost or late beat is exactly what we're here to observe.
+           The hb endpoint stays at epoch 0 forever. *)
+        match
+          Rpc.call_fenced t.hb.(i) ~src:t.node ~timeout:t.hb_timeout ~epoch:0 ()
+        with
+        | Rpc.Reply ((), _) ->
+            misses := 0;
+            Membership.renew_lease t.membership i
+        | Rpc.Stale _ | Rpc.Timeout ->
+            if !misses = 0 then first_miss := Engine.now t.eng;
+            incr misses;
+            if
+              !misses >= t.misses_allowed
+              && Membership.lease_expired t.membership i
+            then begin
+              misses := 0;
+              t.detections <- t.detections + 1;
+              let sink = Engine.trace_sink t.eng in
+              if Obs.Trace.enabled sink then
+                Obs.Trace.complete sink ~ts:!first_miss
+                  ~dur:(Engine.now t.eng -. !first_miss)
+                  ~tid:(Engine.current_pid t.eng) ~cat:"ha"
+                  ~args:
+                    [
+                      ("server", Obs.Json.Str (Membership.name t.membership i));
+                      ("epoch", Obs.Json.Int (Membership.epoch t.membership i));
+                    ]
+                  "ha.detect";
+              t.on_failure i
+            end)
+  done
+
+let start t =
+  Array.iteri
+    (fun i _ ->
+      Engine.spawn t.eng ~daemon:true
+        ~name:(Printf.sprintf "ha.detect.%d" i)
+        (fun () -> monitor t i))
+    t.hb
+
+let detections t = t.detections
+let period t = t.period

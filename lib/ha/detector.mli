@@ -1,0 +1,25 @@
+(** Heartbeat-based failure detection, run as simulated daemons.
+
+    One daemon per monitored server pings its heartbeat endpoint every
+    [period] with a [hb_timeout] reply deadline.  A crashed server's
+    endpoint drops deliveries, so its beats time out; after
+    [misses_allowed] consecutive misses with the membership lease also
+    expired, the daemon emits the [ha.detect] trace span and invokes
+    [on_failure] — which is expected to fence the server and spawn the
+    recovery coordinator ({!Failover}).  Daemons never exit: once
+    recovery flips the server back to [Up] they resume monitoring it. *)
+
+type t
+
+val create :
+  Dessim.Engine.t -> node:Netsim.Node.t -> membership:Membership.t ->
+  hb:(unit, unit) Netsim.Rpc.endpoint array -> period:float ->
+  hb_timeout:float -> misses_allowed:int -> on_failure:(int -> unit) -> t
+
+val start : t -> unit
+(** Spawn the monitor daemons (idempotent only if called once). *)
+
+val detections : t -> int
+(** Failures declared so far. *)
+
+val period : t -> float

@@ -1,0 +1,253 @@
+open Ccpfs_util
+open Dessim
+open Netsim
+open Ccpfs
+module Lock_server = Seqdlm.Lock_server
+module Lock_client = Seqdlm.Lock_client
+
+type record = {
+  f_server : int;
+  f_epoch : int;
+  f_crash : float;
+  f_detect : float;
+  f_recover : float;
+  f_reinstalled : int;
+  f_dropped_waiters : int;
+  f_replayed_bytes : int;
+}
+
+type t = {
+  cl : Cluster.t;
+  eng : Engine.t;
+  membership : Membership.t;
+  detector : Detector.t;
+  hb : (unit, unit) Rpc.endpoint array;
+  mon_node : Node.t;
+  mutable crash_ts : float array;
+  mutable detect_ts : float array;
+  mutable dropped : int array;
+  mutable records : record list; (* most recent first *)
+  failovers : Obs.Metrics.counter;
+  reinstalled : Obs.Metrics.counter;
+}
+
+let membership t = t.membership
+let detector t = t.detector
+let records t = List.rev t.records
+
+(* ---------------------------------------------------------------- *)
+(* Crash injection                                                   *)
+(* ---------------------------------------------------------------- *)
+
+(* Kill server [i] now: cut every service endpoint on its node (in-flight
+   fenced requests to the old incarnation are dropped at delivery), lose
+   the at-most-once tables, and wipe the lock table including queued
+   waiters.  The extent caches are volatile too, but nobody can observe
+   them while the I/O endpoint is down — recovery rebuilds them from the
+   durable log.  Returns false (no-op) if the server is already down. *)
+let crash t i =
+  if
+    Membership.state t.membership i <> Membership.Up
+    || Rpc.is_down (Lock_server.lock_endpoint (Cluster.lock_server t.cl i))
+  then false
+  else begin
+    let ls = Cluster.lock_server t.cl i in
+    let ds = Cluster.data_server t.cl i in
+    t.crash_ts.(i) <- Engine.now t.eng;
+    let cut ep =
+      Rpc.set_down ep true;
+      Rpc.reset ep
+    in
+    Rpc.set_down (Lock_server.lock_endpoint ls) true;
+    Rpc.reset (Lock_server.lock_endpoint ls);
+    cut (Lock_server.ctl_endpoint ls);
+    cut (Data_server.endpoint ds);
+    cut t.hb.(i);
+    t.dropped.(i) <- Lock_server.crash_online ls;
+    true
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Recovery coordinator (§IV-C2, online)                             *)
+(* ---------------------------------------------------------------- *)
+
+let recovery_lock_tuple (r : Lock_client.recovery_lock) =
+  (r.r_rid, r.r_lock_id, r.r_mode, r.r_ranges, r.r_sn, r.r_state)
+
+(* Runs inside its own (regular) simulated process, spawned by the
+   failure declaration.  Order matters:
+   1. fence — bump the epoch while every endpoint is still down;
+   2. replay the extent logs (the SN-floor source that survives even if
+      no client caches a lock);
+   3. gather cached locks from every client *by RPC*: each gather reply
+      also bumps that client's epoch view, so a pre-crash grant still in
+      flight towards it can never be installed afterwards;
+   4. restore SN floors, re-validate, and only then reopen the endpoints
+      under the new epoch. *)
+let recover t i =
+  let sink = Engine.trace_sink t.eng in
+  let ls = Cluster.lock_server t.cl i in
+  let ds = Cluster.data_server t.cl i in
+  Membership.set_state t.membership i Membership.Recovering;
+  let epoch = Membership.bump_epoch t.membership i in
+  let span_args =
+    [
+      ("server", Obs.Json.Str (Membership.name t.membership i));
+      ("epoch", Obs.Json.Int epoch);
+    ]
+  in
+  if Obs.Trace.enabled sink then
+    Obs.Trace.begin_span sink ~ts:(Engine.now t.eng)
+      ~tid:(Engine.current_pid t.eng) ~cat:"ha" ~args:span_args "ha.recover";
+  Data_server.crash_and_rebuild ds;
+  (* Charge the device for re-reading the logs it just replayed. *)
+  let replayed =
+    List.fold_left
+      (fun acc rid ->
+        List.fold_left
+          (fun acc (iv, _) -> acc + Interval.length iv)
+          acc
+          (Data_server.extent_cache_of ds rid))
+      0 (Data_server.stripe_rids ds)
+  in
+  if replayed > 0 then
+    Resource.consume (Node.disk (Data_server.node ds)) (float_of_int replayed);
+  let srv_name = Node.name (Cluster.server_node t.cl i) in
+  let ep_names =
+    [
+      Rpc.name (Lock_server.lock_endpoint ls);
+      Rpc.name (Lock_server.ctl_endpoint ls);
+      Rpc.name (Data_server.endpoint ds);
+    ]
+  in
+  let reinstalled = ref 0 in
+  for c = 0 to Cluster.n_clients t.cl - 1 do
+    let lc = Client.lock_client (Cluster.client t.cl c) in
+    let query =
+      {
+        Lock_client.rq_server = srv_name;
+        rq_epoch = epoch;
+        rq_endpoints = ep_names;
+      }
+    in
+    let locks =
+      Rpc.call (Lock_client.recovery_endpoint lc)
+        ~src:(Cluster.server_node t.cl i) query
+    in
+    reinstalled := !reinstalled + List.length locks;
+    Lock_server.reinstall ls
+      ~client:(Lock_client.client_id lc)
+      ~locks:(List.map recovery_lock_tuple locks)
+  done;
+  List.iter
+    (fun rid ->
+      match Data_server.max_logged_sn ds rid with
+      | Some sn -> Lock_server.restore_sn_floor ls rid sn
+      | None -> ())
+    (Data_server.stripe_rids ds);
+  Lock_server.check_invariants ls;
+  (* Reopen under the new epoch: requests stamped with the old one are
+     now answered Stale instead of being silently processed. *)
+  Rpc.set_epoch (Lock_server.lock_endpoint ls) epoch;
+  Rpc.set_epoch (Lock_server.ctl_endpoint ls) epoch;
+  Rpc.set_epoch (Data_server.endpoint ds) epoch;
+  Rpc.set_down (Lock_server.lock_endpoint ls) false;
+  Rpc.set_down (Lock_server.ctl_endpoint ls) false;
+  Rpc.set_down (Data_server.endpoint ds) false;
+  Rpc.set_down t.hb.(i) false;
+  Membership.renew_lease t.membership i;
+  Membership.set_state t.membership i Membership.Up;
+  Obs.Metrics.incr t.failovers;
+  Obs.Metrics.add t.reinstalled !reinstalled;
+  t.records <-
+    {
+      f_server = i;
+      f_epoch = epoch;
+      f_crash = t.crash_ts.(i);
+      f_detect = t.detect_ts.(i);
+      f_recover = Engine.now t.eng;
+      f_reinstalled = !reinstalled;
+      f_dropped_waiters = t.dropped.(i);
+      f_replayed_bytes = replayed;
+    }
+    :: t.records;
+  if Obs.Trace.enabled sink then
+    Obs.Trace.end_span sink ~ts:(Engine.now t.eng)
+      ~tid:(Engine.current_pid t.eng) "ha.recover"
+
+let declare_failure t i =
+  t.detect_ts.(i) <- Engine.now t.eng;
+  (* STONITH: if the server is in fact still alive (a detector false
+     positive under load), fence it for real before recovering —
+     recovery must never run against a live lock table.  [crash] is a
+     no-op when the server already died. *)
+  ignore (crash t i);
+  Membership.set_state t.membership i Membership.Down;
+  Engine.spawn t.eng
+    ~name:(Printf.sprintf "ha.recover.%d" i)
+    (fun () -> recover t i)
+
+(* ---------------------------------------------------------------- *)
+(* Wiring                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let install ?period ?hb_timeout ?(misses_allowed = 2) ?lease cl =
+  (match Cluster.reliability cl with
+  | None ->
+      invalid_arg
+        "Ha.Failover.install: cluster must be created with ~reliability \
+         (clients could not survive an outage otherwise)"
+  | Some _ -> ());
+  let eng = Cluster.engine cl in
+  let params = Cluster.params cl in
+  let rtt = params.Params.rtt in
+  let period = Option.value period ~default:(10. *. rtt) in
+  let hb_timeout = Option.value hb_timeout ~default:(20. *. rtt) in
+  let lease = Option.value lease ~default:(50. *. rtt) in
+  let n = Cluster.n_servers cl in
+  let names =
+    Array.init n (fun i -> Node.name (Cluster.server_node cl i))
+  in
+  let membership = Membership.create eng ~lease ~names in
+  let mon_node = Node.create eng params ~name:"ha.mon" () in
+  let hb =
+    Array.init n (fun i ->
+        Rpc.endpoint eng params
+          ~node:(Cluster.server_node cl i)
+          ~name:(Printf.sprintf "ls%d.hb" i)
+          ~handler:(fun () ~reply -> reply ()))
+  in
+  let metrics = Engine.metrics eng in
+  let rec t =
+    lazy
+      {
+        cl; eng; membership; hb; mon_node;
+        detector =
+          Detector.create eng ~node:mon_node ~membership ~hb ~period
+            ~hb_timeout ~misses_allowed
+            ~on_failure:(fun i -> declare_failure (Lazy.force t) i);
+        crash_ts = Array.make n 0.;
+        detect_ts = Array.make n 0.;
+        dropped = Array.make n 0;
+        records = [];
+        failovers = Obs.Metrics.counter metrics "ha.failovers";
+        reinstalled = Obs.Metrics.counter metrics "ha.reinstalled_locks";
+      }
+  in
+  let t = Lazy.force t in
+  Detector.start t.detector;
+  t
+
+(* Keep the engine alive until every server is back Up: spawned as a
+   regular process so a quiescent [Engine.run] cannot return mid-outage.
+   No-op when nothing is down. *)
+let spawn_await_all_up t =
+  if not (Membership.all_up t.membership) then
+    Engine.spawn t.eng ~name:"ha.await" (fun () ->
+        while not (Membership.all_up t.membership) do
+          Engine.sleep t.eng (Detector.period t.detector)
+        done)
+
+let await_all_up t =
+  spawn_await_all_up t;
+  Engine.run t.eng

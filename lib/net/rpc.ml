@@ -1,5 +1,31 @@
 open Dessim
 
+type reliability = {
+  rel_timeout : float;
+  rel_base_backoff : float;
+  rel_max_backoff : float;
+}
+
+let reliability_for (p : Params.t) =
+  {
+    rel_timeout = 40. *. p.Params.rtt;
+    rel_base_backoff = 4. *. p.Params.rtt;
+    rel_max_backoff = 200. *. p.Params.rtt;
+  }
+
+type 'resp attempt = Reply of 'resp * int | Stale of int | Timeout
+
+type fault = { f_loss : float; f_dup : float; f_rng : unit -> float }
+
+(* At-most-once bookkeeping: the first delivery of a request id runs the
+   handler; retried or duplicated deliveries either replay the stored
+   result or park a reply sender until the (possibly deferred) handler
+   reply fires. *)
+type 'resp dedup_entry = {
+  mutable de_result : 'resp option;
+  mutable de_pending : ('resp -> unit) list;
+}
+
 type ('req, 'resp) endpoint = {
   eng : Engine.t;
   params : Params.t;
@@ -8,13 +34,50 @@ type ('req, 'resp) endpoint = {
   handler : 'req -> reply:('resp -> unit) -> unit;
   mutable count : int;
   latency : Obs.Metrics.histogram; (* caller-observed call round trip *)
+  mutable epoch : int; (* membership epoch stamped on fenced replies *)
+  mutable down : bool; (* crashed: fenced deliveries are dropped *)
+  mutable incarnation : int; (* bumped by [reset]: cuts in-flight requests *)
+  dedup : (int, 'resp dedup_entry) Hashtbl.t;
+  mutable fault : fault option; (* loss/duplication, fenced traffic only *)
+  retry_counter : Obs.Metrics.counter;
 }
+
+(* A client's knowledge of server epochs, plus its request-id allocator
+   and retry accounting.  Lives on the caller side so the DLM layer never
+   depends on the HA layer: recovery bumps a view through the gather RPC,
+   and the retry loop discards replies stamped with an older epoch. *)
+module View = struct
+  type t = {
+    epochs : (string, int) Hashtbl.t;
+    salt : int;
+    mutable next_req : int;
+    mutable retries : int;
+  }
+
+  let create ?(salt = 0) () =
+    { epochs = Hashtbl.create 8; salt; next_req = 0; retries = 0 }
+
+  let epoch t name =
+    match Hashtbl.find_opt t.epochs name with Some e -> e | None -> 0
+
+  let observe t name e = if e > epoch t name then Hashtbl.replace t.epochs name e
+
+  let fresh_req_id t =
+    t.next_req <- t.next_req + 1;
+    (t.salt * 0x4000_0000) + t.next_req
+
+  let retries t = t.retries
+  let note_retry t = t.retries <- t.retries + 1
+end
 
 let endpoint eng params ~node ~name ~handler =
   let latency =
     Obs.Metrics.histogram (Engine.metrics eng) ("rpc.latency." ^ name)
   in
-  { eng; params; node; name; handler; count = 0; latency }
+  let retry_counter = Obs.Metrics.counter (Engine.metrics eng) "rpc.retry" in
+  { eng; params; node; name; handler; count = 0; latency; epoch = 0;
+    down = false; incarnation = 0; dedup = Hashtbl.create 64; fault = None;
+    retry_counter }
 
 (* Request journey, run in the context of some process: propagation, then
    the server's NIC pipe, then its RPC processor. *)
@@ -108,3 +171,173 @@ let notify t ~src ?req_bytes req =
 
 let calls t = t.count
 let name t = t.name
+
+(* ------------------------------------------------------------------ *)
+(* Fenced transport: epoch checks, at-most-once dedup, crash fencing   *)
+(* and fault injection.  The plain [call]/[notify] paths above are     *)
+(* deliberately untouched — fenced semantics only apply where the HA   *)
+(* layer asked for them.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_down t down = t.down <- down
+let is_down t = t.down
+let set_epoch t e = t.epoch <- e
+let epoch t = t.epoch
+
+let reset t =
+  (* A crash cuts the wires: in-flight requests addressed to the old
+     incarnation are dropped at delivery, and the dedup table — volatile
+     server memory — is lost with everything else. *)
+  t.incarnation <- t.incarnation + 1;
+  Hashtbl.reset t.dedup
+
+let set_fault t ~loss ~dup ~rng =
+  if loss < 0. || loss > 1. || dup < 0. || dup > 1. then
+    invalid_arg "Rpc.set_fault: rates must be in [0,1]";
+  t.fault <- Some { f_loss = loss; f_dup = dup; f_rng = rng }
+
+let clear_fault t = t.fault <- None
+
+(* Reply leg of a fenced call; drops the message instead of filling the
+   ivar when the fault plane loses it, and tolerates duplicate arrivals
+   (the ivar is first-writer-wins). *)
+let reply_fenced t ~src ~resp_bytes ivar outcome =
+  Engine.spawn t.eng ~name:(t.name ^ ".reply")
+    (fun () ->
+      Engine.sleep t.eng (t.params.Params.rtt /. 2.);
+      let lost =
+        match t.fault with
+        | Some f -> f.f_rng () < f.f_loss
+        | None -> false
+      in
+      if not lost then begin
+        Node.add_net_bytes src resp_bytes;
+        Resource.consume (pipe_for src t.params resp_bytes)
+          (float_of_int resp_bytes);
+        if not (Ivar.is_filled ivar) then Ivar.fill ivar outcome
+      end)
+
+(* One physical delivery of a fenced request.  Runs in a courier process:
+   propagation, then — only if the server is still the same live
+   incarnation — NIC + service costs, the epoch fence, and dedup. *)
+let deliver_fenced t ~src ~req_bytes ~resp_bytes ~epoch:req_epoch ~req_id ~inc
+    ivar req =
+  Engine.sleep t.eng (t.params.Params.rtt /. 2.);
+  if not (t.down || inc <> t.incarnation) then begin
+    Node.add_net_bytes t.node req_bytes;
+    Resource.consume (pipe_for t.node t.params req_bytes)
+      (float_of_int req_bytes);
+    Resource.consume (Node.ops t.node) 1.;
+    (* The server may have crashed while the request sat in its NIC/ops
+       queues; a dead incarnation must not run handlers. *)
+    if not (t.down || inc <> t.incarnation) then begin
+      Node.incr_rpc t.node;
+      t.count <- t.count + 1;
+      let send resp = reply_fenced t ~src ~resp_bytes ivar resp in
+      if req_epoch < t.epoch then send (Stale t.epoch)
+      else
+        let send_reply resp = send (Reply (resp, t.epoch)) in
+        match req_id with
+        | None -> t.handler req ~reply:send_reply
+        | Some id -> (
+            match Hashtbl.find_opt t.dedup id with
+            | Some e -> (
+                (* Retransmission (or duplicate) of a request we already
+                   accepted: never re-run the handler. *)
+                match e.de_result with
+                | Some resp -> send_reply resp
+                | None -> e.de_pending <- send_reply :: e.de_pending)
+            | None ->
+                let e = { de_result = None; de_pending = [ send_reply ] } in
+                Hashtbl.add t.dedup id e;
+                t.handler req ~reply:(fun resp ->
+                    match e.de_result with
+                    | Some _ -> () (* handler double-reply: keep the first *)
+                    | None ->
+                        e.de_result <- Some resp;
+                        let ps = List.rev e.de_pending in
+                        e.de_pending <- [];
+                        List.iter (fun send -> send resp) ps))
+    end
+  end
+
+let call_fenced t ~src ?req_bytes ?resp_bytes ?timeout ~epoch:req_epoch ?req_id
+    req =
+  let req_bytes = Option.value req_bytes ~default:t.params.Params.ctl_msg_bytes in
+  let resp_bytes =
+    Option.value resp_bytes ~default:t.params.Params.ctl_msg_bytes
+  in
+  let ivar = Ivar.create t.eng in
+  let inc = t.incarnation in
+  let copies =
+    match t.fault with
+    | None -> 1
+    | Some f ->
+        let base = if f.f_rng () < f.f_loss then 0 else 1 in
+        let extra = if f.f_rng () < f.f_dup then 1 else 0 in
+        base + extra
+  in
+  for _ = 1 to copies do
+    Engine.spawn t.eng ~name:(t.name ^ ".req")
+      (fun () ->
+        serve_span t "serve" req_bytes (fun () ->
+            deliver_fenced t ~src ~req_bytes ~resp_bytes ~epoch:req_epoch
+              ~req_id ~inc ivar req))
+  done;
+  match timeout with
+  | None -> Ivar.read ~ctx:("rpc:" ^ t.name) ivar
+  | Some d -> (
+      match Ivar.read_timeout ~ctx:("rpc:" ^ t.name) ivar ~timeout:d with
+      | Some outcome -> outcome
+      | None -> Timeout)
+
+let note_retry t view ~attempt =
+  Obs.Metrics.incr t.retry_counter;
+  View.note_retry view;
+  let sink = Engine.trace_sink t.eng in
+  if Obs.Trace.enabled sink then
+    Obs.Trace.instant sink ~ts:(Engine.now t.eng)
+      ~tid:(Engine.current_pid t.eng) ~cat:"rpc"
+      ~args:[ ("endpoint", Obs.Json.Str t.name); ("attempt", Obs.Json.Int attempt) ]
+      "rpc.retry"
+
+let call_reliable t ~src ?req_bytes ?resp_bytes ?reliability ~view req =
+  let req_id = View.fresh_req_id view in
+  let timeout = Option.map (fun r -> r.rel_timeout) reliability in
+  let rec attempt k backoff =
+    let req_epoch = View.epoch view t.name in
+    let outcome =
+      call_fenced t ~src ?req_bytes ?resp_bytes ?timeout ~epoch:req_epoch
+        ~req_id req
+    in
+    let retry () =
+      note_retry t view ~attempt:(k + 1);
+      (match reliability with
+      | None -> ()
+      | Some rel ->
+          let d = Float.min backoff rel.rel_max_backoff in
+          (* Jittered exponential backoff; the jitter draw comes from the
+             engine's deterministic stream. *)
+          Engine.sleep t.eng (d +. Engine.random_float t.eng (d /. 2.)));
+      attempt (k + 1) (backoff *. 2.)
+    in
+    match outcome with
+    | Reply (resp, e) when e >= View.epoch view t.name ->
+        View.observe view t.name e;
+        resp
+    | Reply _ ->
+        (* A grant from a fenced-off epoch arrived after we learned of the
+           recovery: discard it and re-submit against the new epoch. *)
+        retry ()
+    | Stale e ->
+        View.observe view t.name e;
+        retry ()
+    | Timeout -> retry ()
+  in
+  attempt 0
+    (match reliability with Some r -> r.rel_base_backoff | None -> 0.)
+
+let send_reliable t ~src ?req_bytes ?reliability ~view req =
+  Engine.spawn t.eng ~name:(t.name ^ ".send")
+    (fun () ->
+      ignore (call_reliable t ~src ?req_bytes ?reliability ~view req))

@@ -78,12 +78,38 @@ let to_file path v =
 (* Parser                                                              *)
 (* ------------------------------------------------------------------ *)
 
-exception Parse_error of int * string
+exception Parse_error of { offset : int; message : string; context : string }
+
+(* A short escaped excerpt around the failure offset, with the exact
+   byte marked — enough to find the problem in a multi-megabyte trace
+   without dumping the document into the error message. *)
+let excerpt s offset =
+  let n = String.length s in
+  let radius = 20 in
+  let lo = max 0 (offset - radius) in
+  let at = min offset n in
+  let hi = min n (offset + radius) in
+  Printf.sprintf "%s%s<HERE>%s%s"
+    (if lo > 0 then "..." else "")
+    (String.escaped (String.sub s lo (at - lo)))
+    (String.escaped (String.sub s at (hi - at)))
+    (if hi < n then "..." else "")
+
+let parse_error_to_string ~offset ~message ~context =
+  Printf.sprintf "Json.parse: at byte %d: %s (near %s)" offset message context
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { offset; message; context } ->
+        Some (parse_error_to_string ~offset ~message ~context)
+    | _ -> None)
 
 let parse_exn s =
   let n = String.length s in
   let pos = ref 0 in
-  let error msg = raise (Parse_error (!pos, msg)) in
+  let error msg =
+    raise (Parse_error { offset = !pos; message = msg; context = excerpt s !pos })
+  in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -271,13 +297,11 @@ let parse_exn s =
   if !pos <> n then error "trailing garbage";
   v
 
-let parse_exn s =
-  try parse_exn s
-  with Parse_error (pos, msg) ->
-    failwith (Printf.sprintf "Json.parse: at byte %d: %s" pos msg)
-
 let parse s =
-  match parse_exn s with v -> Ok v | exception Failure msg -> Error msg
+  match parse_exn s with
+  | v -> Ok v
+  | exception Parse_error { offset; message; context } ->
+      Error (parse_error_to_string ~offset ~message ~context)
 
 let member key = function
   | Obj kvs -> List.assoc_opt key kvs

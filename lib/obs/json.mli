@@ -24,15 +24,22 @@ val to_string : t -> string
 val to_file : string -> t -> unit
 (** Write [to_string] plus a trailing newline to a fresh file. *)
 
+exception Parse_error of { offset : int; message : string; context : string }
+(** Raised by {!parse_exn}: the byte [offset] of the failure, what went
+    wrong, and a short escaped excerpt of the input around the offset
+    (the exact byte marked with [<HERE>]).  A printer is registered, so
+    an uncaught [Parse_error] renders the same string {!parse} returns
+    in its [Error]. *)
+
 val parse : string -> (t, string) result
 (** Strict parse of a complete JSON document (trailing garbage and
     duplicate object keys are errors — this parser only ever reads this
     serializer's output, where a repeated key means a writer bug).
     Numbers with a fraction or exponent come back as [Float], others as
-    [Int].  Error strings carry the byte offset. *)
+    [Int].  Error strings carry the byte offset and a context excerpt. *)
 
 val parse_exn : string -> t
-(** @raise Failure on parse error. *)
+(** @raise Parse_error on parse error. *)
 
 (** {1 Accessors} (for tests and validators) *)
 

@@ -14,6 +14,8 @@ type t = {
   cache : Client_cache.t;
   locks : Lock_client.t;
   policy : Policy.t;
+  rel : Rpc.reliability option;
+  view : Rpc.View.t;
   mutable op_counter : int;
   mutable w_bytes : int;
   mutable r_bytes : int;
@@ -23,7 +25,7 @@ type t = {
 type file = { f_fid : int; f_layout : Layout.t; f_path : string }
 
 let create eng params config ~node ~client_id ~meta ~lock_route ~io_route
-    ~policy =
+    ~policy ~reliability =
   let cache = Client_cache.create eng params config ~node ~client_id ~io_route in
   let hooks =
     {
@@ -37,10 +39,29 @@ let create eng params config ~node ~client_id ~meta ~lock_route ~io_route
   let locks =
     Lock_client.create eng params ~node ~client_id ~route:lock_route ~hooks
   in
+  let view = Lock_client.view locks in
+  (match reliability with
+  | Some rel ->
+      (* One epoch view per client: lock, control and data-server I/O
+         traffic are all fenced by the same recovery epochs. *)
+      Lock_client.set_reliability locks rel;
+      Client_cache.set_reliability cache rel view
+  | None -> ());
   {
     eng; params; config; node; id = client_id; meta; io_route; cache; locks;
-    policy; op_counter = 0; w_bytes = 0; r_bytes = 0; io_secs = 0.;
+    policy; rel = reliability; view;
+    op_counter = 0; w_bytes = 0; r_bytes = 0; io_secs = 0.;
   }
+
+(* Data-server I/O: fenced + retried when the cluster runs with a retry
+   policy, the plain transport otherwise. *)
+let io_call t rid ?resp_bytes req =
+  let ep = t.io_route rid in
+  match t.rel with
+  | None -> Rpc.call ep ~src:t.node ?resp_bytes req
+  | Some rel ->
+      Rpc.call_reliable ep ~src:t.node ?resp_bytes ~reliability:rel
+        ~view:t.view req
 
 let open_file t ?(create = false) ?(layout = Layout.v ~stripe_count:1 ()) path =
   match
@@ -183,7 +204,7 @@ let fetch_stripe t file ~stripe ~range =
     else begin
       let segs =
         match
-          Rpc.call (t.io_route rid) ~src:t.node
+          io_call t rid
             ~resp_bytes:(Interval.length range)
             (Data_server.Read { rid; range })
         with
@@ -371,8 +392,7 @@ let truncate t file ~size =
         Client_cache.drop_clean t.cache ~rid
           ~range:(Interval.to_eof ~lo:keep_below);
         match
-          Rpc.call (t.io_route rid) ~src:t.node
-            (Data_server.Truncate { rid; keep_below })
+          io_call t rid (Data_server.Truncate { rid; keep_below })
         with
         | Data_server.Done -> ()
         | Data_server.Data _ as r ->

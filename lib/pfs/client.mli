@@ -19,7 +19,11 @@ val create :
   meta:(Meta_server.req, Meta_server.resp) Netsim.Rpc.endpoint ->
   lock_route:(int -> Seqdlm.Lock_server.t) ->
   io_route:(int -> (Data_server.io_req, Data_server.io_resp) Netsim.Rpc.endpoint) ->
-  policy:Seqdlm.Policy.t -> t
+  policy:Seqdlm.Policy.t -> reliability:Netsim.Rpc.reliability option -> t
+(** With [reliability], lock traffic, control messages and data-server
+    I/O all go through the fenced retry transport under the client's one
+    epoch view (online-failover survival); [None] keeps the plain
+    transport paths. *)
 
 type file
 

@@ -24,6 +24,10 @@ type t = {
   mutable audit : (rid:int -> unit) option;
   mutable write_obs :
     (rid:int -> range:Interval.t -> sn:int -> op:int -> unit) option;
+  mutable rel : (Rpc.reliability * Rpc.View.t) option;
+      (* flushes go through the fenced retry path when the cluster runs
+         with failover enabled: a Write_flush must survive a data-server
+         outage, and at-most-once dedup keeps retries idempotent *)
 }
 
 let rid_map t rid =
@@ -70,9 +74,14 @@ let flush t ~rid ~ranges =
       else bytes
     in
     let do_rpc () =
+      let ep = t.io_route rid in
+      let req = Data_server.Write_flush { rid; blocks } in
       match
-        Rpc.call (t.io_route rid) ~src:t.node ~req_bytes:wire_bytes
-          (Data_server.Write_flush { rid; blocks })
+        (match t.rel with
+        | None -> Rpc.call ep ~src:t.node ~req_bytes:wire_bytes req
+        | Some (rel, view) ->
+            Rpc.call_reliable ep ~src:t.node ~req_bytes:wire_bytes
+              ~reliability:rel ~view req)
       with
       | Data_server.Done -> ()
       | Data_server.Data _ as r ->
@@ -157,6 +166,7 @@ let create eng params config ~node ~client_id ~io_route =
       n_flush_rpcs = 0;
       audit = None;
       write_obs = None;
+      rel = None;
     }
   in
   Engine.spawn eng ~daemon:true
@@ -276,6 +286,7 @@ let dirty_view t =
 
 let set_audit t f = t.audit <- Some f
 let set_write_observer t f = t.write_obs <- Some f
+let set_reliability t rel view = t.rel <- Some (rel, view)
 let client_id t = t.client_id
 let clean_bytes t = t.clean_total
 let read_cache_hits t = t.r_hits

@@ -21,6 +21,12 @@ val create :
 (** [io_route rid] is the IO endpoint of the data server storing that
     stripe.  Starts the flush daemon. *)
 
+val set_reliability :
+  t -> Netsim.Rpc.reliability -> Netsim.Rpc.View.t -> unit
+(** Route flush RPCs through the fenced retry transport under the
+    client's epoch [view]: a Write_flush then survives a data-server
+    outage (retransmitted until acknowledged, deduplicated server-side). *)
+
 val write :
   t -> rid:int -> range:Ccpfs_util.Interval.t -> sn:int -> op:int -> unit
 (** Insert dirty data written under a lock with sequence number [sn];

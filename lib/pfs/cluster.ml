@@ -16,10 +16,11 @@ type t = {
   meta : Meta_server.t;
   servers : server array;
   clients : Client.t array;
+  reliability : Rpc.reliability option;
 }
 
 let create ?(params = Params.default) ?(config = Config.default)
-    ?(policy = Seqdlm.Policy.seqdlm) ~n_servers ~n_clients () =
+    ?(policy = Seqdlm.Policy.seqdlm) ?reliability ~n_servers ~n_clients () =
   if n_servers <= 0 || n_clients <= 0 then
     invalid_arg "Cluster.create: need at least one server and one client";
   let eng = Engine.create () in
@@ -48,9 +49,10 @@ let create ?(params = Params.default) ?(config = Config.default)
     Array.init n_clients (fun i ->
         let node = Node.create eng params ~name:(Printf.sprintf "c%d" i) () in
         Client.create eng params config ~node ~client_id:i
-          ~meta:(Meta_server.endpoint meta) ~lock_route ~io_route ~policy)
+          ~meta:(Meta_server.endpoint meta) ~lock_route ~io_route ~policy
+          ~reliability)
   in
-  { eng; params; config; policy; meta; servers; clients }
+  { eng; params; config; policy; meta; servers; clients; reliability }
 
 let engine t = t.eng
 let params t = t.params
@@ -62,7 +64,14 @@ let client t i = t.clients.(i)
 let server_of_rid t rid = rid mod Array.length t.servers
 let data_server t i = t.servers.(i).s_data
 let lock_server t i = t.servers.(i).s_lock
+let server_node t i = t.servers.(i).s_node
 let meta t = t.meta
+let reliability t = t.reliability
+
+let total_retries t =
+  Array.fold_left
+    (fun acc c -> acc + Seqdlm.Lock_client.retries (Client.lock_client c))
+    0 t.clients
 
 let spawn_client t i ~name f =
   Engine.spawn t.eng ~name (fun () -> f t.clients.(i))

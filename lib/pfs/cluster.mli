@@ -7,10 +7,15 @@ type t
 
 val create :
   ?params:Netsim.Params.t -> ?config:Config.t ->
-  ?policy:Seqdlm.Policy.t -> n_servers:int -> n_clients:int -> unit ->
+  ?policy:Seqdlm.Policy.t -> ?reliability:Netsim.Rpc.reliability ->
+  n_servers:int -> n_clients:int -> unit ->
   t
 (** Defaults: testbed {!Netsim.Params.default}, {!Config.default},
-    {!Seqdlm.Policy.seqdlm}. *)
+    {!Seqdlm.Policy.seqdlm}.  With [reliability], every client's lock
+    acquires, control messages and data-server I/O go through the fenced
+    retry transport ({!Netsim.Rpc.call_reliable}) — required for online
+    failover ({!Ha}); without it the transport behaves exactly as
+    before. *)
 
 val engine : t -> Dessim.Engine.t
 val params : t -> Netsim.Params.t
@@ -22,7 +27,12 @@ val client : t -> int -> Client.t
 val server_of_rid : t -> int -> int
 val data_server : t -> int -> Data_server.t
 val lock_server : t -> int -> Seqdlm.Lock_server.t
+val server_node : t -> int -> Netsim.Node.t
 val meta : t -> Meta_server.t
+val reliability : t -> Netsim.Rpc.reliability option
+
+val total_retries : t -> int
+(** Fenced-call retransmissions summed over all clients. *)
 
 val spawn_client : t -> int -> name:string -> (Client.t -> unit) -> unit
 (** Spawn a process running on client [i]. *)

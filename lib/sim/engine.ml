@@ -106,6 +106,10 @@ type t = {
   mutable jitter : (unit -> float) option;
   mutable sink : Obs.Trace.sink; (* Trace.null unless a run is traced *)
   metrics : Obs.Metrics.t; (* per-engine registry, starts disabled *)
+  mutable rand : Ccpfs_util.Det_random.t;
+      (* engine-held deterministic stream: retry backoff jitter and any
+         other protocol-level randomness draw from here so two runs of the
+         same scenario see the same values in the same order *)
 }
 
 (* FNV-1a, 64 bit: the event-stream fingerprint two runs of the same
@@ -132,7 +136,8 @@ let create () =
   { now = 0.; seq = 0; heap = Heap.create (); current = None; live = 0;
     regular_spawned = 0; next_pid = 0; dispatched = 0; blocked_procs = Hashtbl.create 64;
     fp = fnv_offset; tie_chooser = None; jitter = None; sink = Obs.Trace.null;
-    metrics = Obs.Metrics.create () }
+    metrics = Obs.Metrics.create ();
+    rand = Ccpfs_util.Det_random.create ~seed:0x9e3779b9 }
 
 let now t = t.now
 let live_processes t = t.live
@@ -151,7 +156,11 @@ let seed_nondeterminism ?(max_jitter = 0.) ~seed t =
     let jitter_rng = Ccpfs_util.Det_random.split rng in
     set_event_jitter t (fun () ->
         Ccpfs_util.Det_random.float jitter_rng max_jitter)
-  end
+  end;
+  t.rand <- Ccpfs_util.Det_random.split rng
+
+let random_float t bound =
+  if bound <= 0. then 0. else Ccpfs_util.Det_random.float t.rand bound
 let trace_sink t = t.sink
 let set_trace_sink t sink = t.sink <- sink
 let metrics t = t.metrics

@@ -123,6 +123,13 @@ val seed_nondeterminism : ?max_jitter:float -> seed:int -> t -> unit
     streams (equal {!fingerprint}s); different seeds explore different
     schedules. *)
 
+val random_float : t -> float -> float
+(** Deterministic uniform draw in [\[0, bound)] (0 when [bound <= 0]) from
+    the engine's seeded stream — retry backoff jitter and similar
+    protocol-level randomness.  The stream starts from a fixed seed at
+    {!create} and is re-derived by {!seed_nondeterminism}, so identically
+    seeded runs of the same scenario see identical draws. *)
+
 val blocked_report : t -> blocked_proc list
 (** The processes currently suspended, in pid order (what {!Deadlock}
     would carry if the queue drained now).  If a process body raised, the

@@ -798,7 +798,7 @@ let prop_grant_contract =
               then ok := false
           | Lock_server.T_request _ | Lock_server.T_revoke _
           | Lock_server.T_ack _ | Lock_server.T_release _
-          | Lock_server.T_downgrade _ -> ());
+          | Lock_server.T_downgrade _ | Lock_server.T_crash _ -> ());
       (* Client-side checks at every acquire: the held lock covers the
          requested range, never starts above it, and its mode subsumes
          the requested one. *)

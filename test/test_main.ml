@@ -24,4 +24,5 @@ let () =
             Test_meta.suite;
             Test_experiments.suite;
             Test_fuzz.suite;
+            Test_ha.suite;
           ]))

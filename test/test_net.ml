@@ -143,6 +143,110 @@ let test_node_no_disk () =
   Alcotest.check_raises "disk access" (Invalid_argument "diskless: node has no disk")
     (fun () -> ignore (Node.disk n))
 
+(* ------------------------------------------------------------------ *)
+(* Fenced transport                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fenced_world () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let client = Node.create eng params ~name:"c" () in
+  let hits = ref 0 in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"svc"
+      ~handler:(fun x ~reply ->
+        incr hits;
+        reply (x * 2))
+  in
+  (eng, server, client, ep, hits)
+
+let test_fenced_timeout_and_stale () =
+  let eng, _, client, ep, hits = fenced_world () in
+  Rpc.set_epoch ep 2;
+  Engine.spawn eng ~name:"caller" (fun () ->
+      (* Older-epoch request is fenced off without touching the handler. *)
+      (match Rpc.call_fenced ep ~src:client ~timeout:1. ~epoch:1 21 with
+      | Rpc.Stale e -> Alcotest.(check int) "fence reports server epoch" 2 e
+      | Rpc.Reply _ -> Alcotest.fail "stale request must not be served"
+      | Rpc.Timeout -> Alcotest.fail "stale request must not time out");
+      Alcotest.(check int) "handler never ran" 0 !hits;
+      (* Current-epoch request goes through. *)
+      (match Rpc.call_fenced ep ~src:client ~timeout:1. ~epoch:2 21 with
+      | Rpc.Reply (v, e) ->
+          Alcotest.(check int) "reply value" 42 v;
+          Alcotest.(check int) "reply epoch" 2 e
+      | _ -> Alcotest.fail "live request must be served");
+      (* A down endpoint drops the delivery: the deadline expires. *)
+      Rpc.set_down ep true;
+      let t0 = Engine.now eng in
+      match Rpc.call_fenced ep ~src:client ~timeout:0.5 ~epoch:2 21 with
+      | Rpc.Timeout ->
+          Alcotest.(check (float 1e-9)) "waited the full deadline" 0.5
+            (Engine.now eng -. t0)
+      | _ -> Alcotest.fail "down endpoint must time out");
+  Engine.run eng
+
+let test_fenced_at_most_once () =
+  let eng, _, client, ep, hits = fenced_world () in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      let first = Rpc.call_fenced ep ~src:client ~epoch:0 ~req_id:7 21 in
+      (* Same request id again: the stored reply is replayed, the handler
+         does not run a second time. *)
+      let second = Rpc.call_fenced ep ~src:client ~epoch:0 ~req_id:7 21 in
+      (match (first, second) with
+      | Rpc.Reply (a, _), Rpc.Reply (b, _) ->
+          Alcotest.(check int) "same answer" a b
+      | _ -> Alcotest.fail "both attempts must get the reply");
+      Alcotest.(check int) "handler ran once" 1 !hits;
+      (* A crash wipes the dedup table: the id becomes fresh again. *)
+      Rpc.reset ep;
+      (match Rpc.call_fenced ep ~src:client ~epoch:0 ~req_id:7 21 with
+      | Rpc.Reply _ -> ()
+      | _ -> Alcotest.fail "post-reset attempt must be served");
+      Alcotest.(check int) "reset cleared at-most-once state" 2 !hits);
+  Engine.run eng
+
+let test_reliable_rides_out_an_outage () =
+  let eng, _, client, ep, hits = fenced_world () in
+  let rel =
+    { Rpc.rel_timeout = 0.02; rel_base_backoff = 0.002; rel_max_backoff = 0.05 }
+  in
+  let view = Rpc.View.create () in
+  Rpc.set_down ep true;
+  Engine.spawn eng ~name:"healer" (fun () ->
+      Engine.sleep eng 0.1;
+      Rpc.set_epoch ep 3;
+      Rpc.set_down ep false);
+  Engine.spawn eng ~name:"caller" (fun () ->
+      let v = Rpc.call_reliable ep ~src:client ~reliability:rel ~view 21 in
+      Alcotest.(check int) "eventually answered" 42 v;
+      Alcotest.(check bool) "after the outage" true (Engine.now eng > 0.1);
+      Alcotest.(check bool) "attempts were retries, not re-executions" true
+        (Rpc.View.retries view > 0);
+      Alcotest.(check int) "handler ran exactly once" 1 !hits;
+      Alcotest.(check int) "epoch bump observed" 3
+        (Rpc.View.epoch view (Rpc.name ep)));
+  Engine.run eng
+
+let test_reliable_survives_loss_and_dup () =
+  let eng, _, client, ep, hits = fenced_world () in
+  let rel =
+    { Rpc.rel_timeout = 0.02; rel_base_backoff = 0.002; rel_max_backoff = 0.05 }
+  in
+  let view = Rpc.View.create () in
+  let rng = Ccpfs_util.Det_random.create ~seed:0xbadbeef in
+  Rpc.set_fault ep ~loss:0.4 ~dup:0.3 ~rng:(fun () ->
+      Ccpfs_util.Det_random.float rng 1.);
+  let n = 20 in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      for i = 1 to n do
+        Alcotest.(check int) "answer survives the faults" (2 * i)
+          (Rpc.call_reliable ep ~src:client ~reliability:rel ~view i)
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "each logical call executed exactly once" n !hits;
+  Alcotest.(check bool) "losses forced retries" true (Rpc.View.retries view > 0)
+
 let suite =
   [
     ( "net.rpc",
@@ -157,6 +261,16 @@ let suite =
           test_notify_does_not_block;
         Alcotest.test_case "blocking handler on disk" `Quick
           test_blocking_handler_uses_disk;
+      ] );
+    ( "net.fenced",
+      [
+        Alcotest.test_case "epoch fence + timeout" `Quick
+          test_fenced_timeout_and_stale;
+        Alcotest.test_case "at-most-once dedup" `Quick test_fenced_at_most_once;
+        Alcotest.test_case "reliable call rides out an outage" `Quick
+          test_reliable_rides_out_an_outage;
+        Alcotest.test_case "reliable call survives loss + duplication" `Quick
+          test_reliable_survives_loss_and_dup;
       ] );
     ( "net.params",
       [

@@ -196,10 +196,24 @@ let test_json_error_paths () =
   (match Json.parse "{\"a\": 1, \"b\": 2}" with
   | Ok _ -> ()
   | Error e -> Alcotest.fail ("distinct keys must parse: " ^ e));
-  match Json.parse "\"\\u0041\\\\\\n\"" with
+  (match Json.parse "\"\\u0041\\\\\\n\"" with
   | Ok (Json.Str "A\\\n") -> ()
   | Ok v -> Alcotest.fail ("escapes decoded wrong: " ^ Json.to_string v)
-  | Error e -> Alcotest.fail ("valid escapes must parse: " ^ e)
+  | Error e -> Alcotest.fail ("valid escapes must parse: " ^ e));
+  (* The dedicated exception pinpoints the failing byte and excerpts the
+     input around it. *)
+  (match Json.parse_exn "[1, 2, x]" with
+  | v -> Alcotest.fail ("bogus list parsed to " ^ Json.to_string v)
+  | exception Json.Parse_error { offset; message; context } ->
+      Alcotest.(check int) "failure offset" 7 offset;
+      Alcotest.(check string) "failure message" "unexpected 'x'" message;
+      Alcotest.(check string) "marked excerpt" "[1, 2, <HERE>x]" context);
+  match Json.parse "[1, 2, x]" with
+  | Ok v -> Alcotest.fail ("bogus list parsed to " ^ Json.to_string v)
+  | Error e ->
+      Alcotest.(check string)
+        "Error string renders offset and excerpt"
+        "Json.parse: at byte 7: unexpected 'x' (near [1, 2, <HERE>x])" e
 
 (* ------------------------------------------------------------------ *)
 (* Results accumulator                                                 *)

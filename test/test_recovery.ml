@@ -176,6 +176,8 @@ let test_crash_with_dirty_cache_flush () =
             extent_cache_limit = Config.default.extent_cache_limit;
             tie_random = false;
             jitter = 0.;
+            loss = 0.;
+            dup = 0.;
             phases =
               [
                 {
@@ -188,11 +190,13 @@ let test_crash_with_dirty_cache_flush () =
                       [ Write { block = 4; blocks = 6 } ];
                     |];
                   crash_server = Some 0;
+                  crash_mid = None;
                 };
                 {
                   ops =
                     [| [ Write { block = 2; blocks = 4 } ]; [ Append { blocks = 2 } ] |];
                   crash_server = None;
+                  crash_mid = None;
                 };
               ];
           };
@@ -267,6 +271,69 @@ let test_queued_waiters_then_recovery () =
            | None -> false));
   Cluster.check_invariants cl
 
+(* Recovery ownership with two lock servers: a file striped across both
+   means every client caches grants for rids owned by each server.  When
+   one server crashes, the gather must hand it back exactly the locks on
+   rids it owns — the [~owned] predicate of
+   [Lock_client.locks_for_recovery] — and the survivor's table and SN
+   counter must come through untouched. *)
+let test_multi_server_recovery_ownership () =
+  let cl = Cluster.create ~params ~config ~n_servers:2 ~n_clients:2 () in
+  let layout = Layout.v ~stripe_count:2 () in
+  for i = 0 to 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
+        let f = Client.open_file c ~create:true ~layout "/multi" in
+        (* One write per stripe, disjoint between clients, so both keep
+           cached grants on both servers' resources. *)
+        Client.write c f ~off:(i * 65536) ~len:8192;
+        Client.write c f ~off:(Units.mib + (i * 65536)) ~len:8192;
+        Client.fsync c)
+  done;
+  Cluster.run cl;
+  let fid = 1 in
+  let rid0 = Layout.rid ~fid ~stripe:0 in
+  let rid1 = Layout.rid ~fid ~stripe:1 in
+  let crashed = Cluster.server_of_rid cl rid0 in
+  let survivor = Cluster.server_of_rid cl rid1 in
+  Alcotest.(check bool) "stripes land on different servers" true
+    (crashed <> survivor);
+  let view_key (v : Seqdlm.Lock_server.lock_view) =
+    (v.v_client, v.v_sn, Seqdlm.Mode.to_string v.v_mode)
+  in
+  let table ls rid =
+    List.sort compare (List.map view_key (Seqdlm.Lock_server.granted_locks ls rid))
+  in
+  let ls_crashed = Cluster.lock_server cl crashed in
+  let ls_survivor = Cluster.lock_server cl survivor in
+  let crashed_before = table ls_crashed rid0 in
+  let survivor_before = table ls_survivor rid1 in
+  let survivor_sn = Seqdlm.Lock_server.next_sn ls_survivor rid1 in
+  (* Expansion may have let one client's grant swallow the stripe and a
+     later conflicting write revoke the other's, so only demand that
+     both servers still have grants to lose. *)
+  Alcotest.(check bool) "crashed server has grants to regather" true
+    (crashed_before <> []);
+  Alcotest.(check bool) "survivor has grants to keep" true
+    (survivor_before <> []);
+
+  Cluster.crash_and_recover_server cl crashed;
+
+  Alcotest.(check (list (triple int int string)))
+    "crashed server regathered exactly its own grants" crashed_before
+    (table ls_crashed rid0);
+  List.iter
+    (fun rid ->
+      Alcotest.(check int)
+        (Printf.sprintf "rebuilt rid %d owned by the crashed server" rid)
+        crashed
+        (Cluster.server_of_rid cl rid))
+    (Seqdlm.Lock_server.resource_ids ls_crashed);
+  Alcotest.(check (list (triple int int string)))
+    "survivor's table untouched" survivor_before (table ls_survivor rid1);
+  Alcotest.(check int) "survivor's SN counter untouched" survivor_sn
+    (Seqdlm.Lock_server.next_sn ls_survivor rid1);
+  Cluster.check_invariants cl
+
 let suite =
   [
     ( "pfs.recovery",
@@ -283,5 +350,7 @@ let suite =
           `Quick test_crash_with_dirty_cache_flush;
         Alcotest.test_case "queued waiters, then recovery restores SN floor"
           `Quick test_queued_waiters_then_recovery;
+        Alcotest.test_case "multi-server recovery gathers only owned locks"
+          `Quick test_multi_server_recovery_ownership;
       ] );
   ]
