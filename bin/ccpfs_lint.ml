@@ -1,0 +1,51 @@
+(* ccpfs_lint — the determinism & protocol lint (DESIGN.md §12).
+
+   Scans the given roots (directories or .cmt files, usually the built
+   lib/ and bin/ trees) for .cmt files, runs Lint.Analyze over them and
+   prints the report.  Exit status: 0 clean, 1 findings, 2 usage or
+   internal error.  `dune build @lint` drives it over the whole repo. *)
+
+let usage () =
+  prerr_endline
+    "usage: ccpfs_lint [--report FILE] [--explain] ROOT...\n\
+     \n\
+     Lints the .cmt files found under each ROOT.\n\
+     \  --report FILE   also write the report to FILE\n\
+     \  --explain       append each fired rule's rationale";
+  exit 2
+
+let () =
+  let report_file = ref None in
+  let explain = ref false in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--report" :: file :: rest ->
+        report_file := Some file;
+        parse rest
+    | "--report" :: [] -> usage ()
+    | "--explain" :: rest ->
+        explain := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | root :: rest ->
+        roots := root :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = List.rev !roots in
+  if roots = [] then usage ();
+  match Lint.Analyze.run_roots roots with
+  | exception e ->
+      Printf.eprintf "ccpfs_lint: internal error: %s\n" (Printexc.to_string e);
+      exit 2
+  | report ->
+      let text = Lint.Report.render ~explain:!explain report in
+      print_string text;
+      (match !report_file with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc text;
+          close_out oc);
+      if report.findings <> [] then exit 1

@@ -96,7 +96,11 @@ let find_cycles edges =
             (Option.value ~default:[] (Hashtbl.find_opt adj c))
         end
   in
-  Hashtbl.iter (fun c _ -> dfs [] c) adj;
+  (* The DFS shares [visited] across roots, so which cycles get reported
+     (and in what orientation) depends on root order: start from sorted
+     client ids, not raw table order, or two runs of the same scenario
+     can disagree on the cycle list. *)
+  List.iter (dfs []) (Ccpfs_util.Det_tbl.sorted_keys ~cmp:Int.compare adj);
   List.rev !cycles
 
 let analyze ~servers ~blocked =

@@ -33,6 +33,12 @@ exception Deadlock_found of report
 val analyze :
   servers:Lock_server.t list -> blocked:Engine.blocked_proc list -> report
 
+val find_cycles : edge list -> Types.client_id list list
+(** The cycle enumeration [analyze] runs on its edge set: every directed
+    cycle in the wait-for graph, each rotated to start at its smallest
+    client id, in a deterministic order.  Exposed so the determinism
+    regression tests can drive it on synthetic graphs. *)
+
 val pp_edge : Format.formatter -> edge -> unit
 val pp : Format.formatter -> report -> unit
 val to_string : report -> string

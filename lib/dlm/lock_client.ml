@@ -174,7 +174,11 @@ let handle_revoke t (msg : Types.server_msg) =
           Hashtbl.replace t.pending_revokes (rid, lock_id) ())
 
 let locks_for_recovery t ~owned =
-  Hashtbl.fold
+  (* sorted (rid, lock_id) traversal: the recovery report order feeds the
+     reacquire stream, so it must not depend on table internals *)
+  Det_tbl.fold_sorted
+    ~cmp:(fun (r1, l1) (r2, l2) ->
+      match Int.compare r1 r2 with 0 -> Int.compare l1 l2 | c -> c)
     (fun (rid, _) (l : cached_lock) acc ->
       if owned rid then
         {
@@ -188,7 +192,7 @@ let locks_for_recovery t ~owned =
         :: acc
       else acc)
     t.locks []
-  |> List.sort (fun a b -> compare (a.r_rid, a.r_lock_id) (b.r_rid, b.r_lock_id))
+  |> List.rev
 
 (* The recovery coordinator's gather RPC (§IV-C2, online).  Bumping the
    view first is the fencing half: any grant from the crashed epoch still

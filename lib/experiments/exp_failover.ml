@@ -89,7 +89,7 @@ let run_once ~clients ~writes_each =
           Dessim.Engine.sleep eng tick
         done;
         ignore (Ha.Failover.crash ha 0);
-        while Ha.Failover.records ha = [] do
+        while List.is_empty (Ha.Failover.records ha) do
           Dessim.Engine.sleep eng tick
         done);
     Check.Sanitize.run_cluster cl;

@@ -70,7 +70,7 @@ let mid_crash_count t =
 (* Does this case need the fenced transport (retries, failover)? *)
 let online (s : sim) =
   s.loss > 0. || s.dup > 0.
-  || List.exists (fun p -> p.crash_mid <> None) s.phases
+  || List.exists (fun p -> Option.is_some p.crash_mid) s.phases
 
 let summary t =
   match t.kind with

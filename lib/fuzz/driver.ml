@@ -19,7 +19,7 @@ let run_range ?inject ?(faults = false) ?shrink_budget ?progress ~base ~count
   let sims = ref 0 and analytics = ref 0 in
   let failure = ref None in
   let k = ref 0 in
-  while !failure = None && !k < count do
+  while Option.is_none !failure && !k < count do
     let seed = base + !k in
     let case = Gen.of_seed ~faults seed in
     (match case.Case.kind with

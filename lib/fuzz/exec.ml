@@ -180,7 +180,8 @@ let sim_pass ?inject (case : Case.t) (s : Case.sim) =
                 Dessim.Engine.sleep eng tick
               done)
       | _ -> ());
-      if !spawned || ph.crash_mid <> None then Check.Sanitize.run_cluster cl;
+      if !spawned || Option.is_some ph.crash_mid then
+        Check.Sanitize.run_cluster cl;
       (match ph.crash_mid with
       | Some (srv, _) -> assert_sn_floor cl (srv mod s.n_servers)
       | None -> ());

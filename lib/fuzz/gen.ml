@@ -129,7 +129,12 @@ let gen_sim ?(faults = false) seed rng =
   let phases =
     (* Forcing mode (CI fault smoke) guarantees at least one online
        crash per case. *)
-    if faults && not (List.exists (fun (p : Case.phase) -> p.Case.crash_mid <> None) phases)
+    if
+      faults
+      && not
+           (List.exists
+              (fun (p : Case.phase) -> Option.is_some p.Case.crash_mid)
+              phases)
     then
       match phases with
       | p :: rest -> { p with crash_mid = gen_mid () } :: rest

@@ -103,7 +103,7 @@ let candidates (c : Case.t) =
           };
         List.iteri
           (fun pi (p : Case.phase) ->
-            if p.crash_mid <> None then
+            if Option.is_some p.crash_mid then
               add
                 {
                   s with

@@ -1,0 +1,20 @@
+(** The cmt-walking analyzer.
+
+    Loads dune-produced [.cmt] files, reconstructs typing environments
+    from their summaries (over the load paths the compiler recorded) and
+    walks each implementation's typedtree, firing the {!Rules.all}
+    checks.  Findings suppressed by an in-scope
+    [\[@lint.allow "RULE justification"\]] become {!Diagnostic.suppression}
+    records instead; malformed or unused suppressions are L-rule
+    findings. *)
+
+val find_cmts : string list -> string list
+(** All [.cmt] files under the given files/directories, sorted. *)
+
+val run : cmt_files:string list -> Diagnostic.report
+(** Analyze the given cmt files.  Initializes the compiler load path
+    from the cmts' recorded paths (resolved against ./, ../ and ../../
+    so it works both from the build root and from test directories). *)
+
+val run_roots : string list -> Diagnostic.report
+(** [run ~cmt_files:(find_cmts roots)]. *)

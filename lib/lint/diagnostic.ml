@@ -1,0 +1,61 @@
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type suppression = {
+  s_rule : string;
+  s_file : string;
+  s_line : int;
+  s_justification : string;
+}
+
+type report = {
+  findings : finding list;
+  suppressions : suppression list;
+  files_scanned : int;
+}
+
+(* The lint's own output must be deterministic: every report is sorted on
+   a total key before anything is printed or compared. *)
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.rule b.rule with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let compare_suppression a b =
+  match String.compare a.s_file b.s_file with
+  | 0 -> (
+      match Int.compare a.s_line b.s_line with
+      | 0 -> (
+          match String.compare a.s_rule b.s_rule with
+          | 0 -> String.compare a.s_justification b.s_justification
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sorted_report ~files_scanned ~findings ~suppressions =
+  {
+    findings = List.sort_uniq compare_finding findings;
+    suppressions = List.sort_uniq compare_suppression suppressions;
+    files_scanned;
+  }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let pp_suppression ppf s =
+  Format.fprintf ppf "%s:%d: [%s] allowed: %s" s.s_file s.s_line s.s_rule
+    s.s_justification

@@ -1,0 +1,48 @@
+let render ?(explain = false) (r : Diagnostic.report) =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun f -> Format.fprintf ppf "%a@." Diagnostic.pp_finding f)
+    r.findings;
+  if r.findings <> [] then Format.fprintf ppf "@.";
+  let by_rule =
+    List.fold_left
+      (fun acc (f : Diagnostic.finding) ->
+        let n = try List.assoc f.rule acc with Not_found -> 0 in
+        (f.rule, n + 1) :: List.remove_assoc f.rule acc)
+      [] r.findings
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.fprintf ppf "lint: %d file%s scanned, %d finding%s, %d suppression%s@."
+    r.files_scanned
+    (if r.files_scanned = 1 then "" else "s")
+    (List.length r.findings)
+    (if List.length r.findings = 1 then "" else "s")
+    (List.length r.suppressions)
+    (if List.length r.suppressions = 1 then "" else "s");
+  List.iter
+    (fun (rule, n) ->
+      let title =
+        match Rules.find rule with Some r -> r.title | None -> "?"
+      in
+      Format.fprintf ppf "  %s: %d (%s)@." rule n title)
+    by_rule;
+  if r.suppressions <> [] then begin
+    Format.fprintf ppf "@.Allowed sites (each carries its justification):@.";
+    List.iter
+      (fun s -> Format.fprintf ppf "  %a@." Diagnostic.pp_suppression s)
+      r.suppressions
+  end;
+  if explain && by_rule <> [] then begin
+    Format.fprintf ppf "@.Rules:@.";
+    List.iter
+      (fun (rule, _) ->
+        match Rules.find rule with
+        | Some r ->
+            Format.fprintf ppf "  %s — %s@.    %a@." r.id r.title
+              Format.pp_print_text r.rationale
+        | None -> ())
+      by_rule
+  end;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

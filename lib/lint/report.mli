@@ -1,0 +1,4 @@
+val render : ?explain:bool -> Diagnostic.report -> string
+(** The full text report: one [file:line:col: \[RULE\] message] line per
+    finding (sorted), a per-rule summary, the justified-suppression
+    list, and with [~explain:true] the rationale of each fired rule. *)

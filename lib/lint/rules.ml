@@ -1,0 +1,83 @@
+type t = { id : string; title : string; rationale : string }
+
+let all =
+  [
+    {
+      id = "D001";
+      title = "order-sensitive Hashtbl traversal";
+      rationale =
+        "Hashtbl.iter/fold/to_seq (and Hashtbl.hash-keyed folds) visit \
+         entries in hash-bucket order, which varies under randomized \
+         hashing and across processes.  PR 4 hand-fixed three shipped \
+         nondeterminism bugs of exactly this class (client-cache flush \
+         tie-break, data-server stripe sweeps, client group_by_stripe).  \
+         Iterate sorted keys instead (Ccpfs_util.Det_tbl), or carry \
+         [@lint.allow \"D001 <why the site is order-insensitive>\"].";
+    };
+    {
+      id = "D002";
+      title = "unseeded or ambient randomness";
+      rationale =
+        "Stdlib.Random draws from ambient global (or self_init'd) state, \
+         so two runs of the same seed diverge and fuzz failures stop \
+         replaying.  All randomness must flow from an explicitly seeded \
+         stream: Ccpfs_util.Det_random (the one file allowed to touch \
+         Stdlib.Random) or Dessim.Engine.random_float.";
+    };
+    {
+      id = "D003";
+      title = "wall-clock / OS time read";
+      rationale =
+        "Unix.gettimeofday, Unix.time and Sys.time read host time, which \
+         differs on every run; simulation logic must use Engine.now.  \
+         Only bench/ (host-time measurement is its purpose) is exempt; a \
+         deliberate wall-clock benchmark elsewhere carries \
+         [@lint.allow \"D003 <why host time is the measured quantity>\"].";
+    };
+    {
+      id = "P001";
+      title = "assert false / failwith in an RPC-reply match arm";
+      rationale =
+        "An unexpected reply shape is a protocol bug to diagnose, not a \
+         crash: PR 2 and PR 5 converted nine shipped `| _ -> assert \
+         false` reply arms into Ccpfs.Protocol_error carrying the \
+         endpoint, request and offending reply.  Raise \
+         Ccpfs.Protocol_error (e.g. via Protocol_error.fail) instead.";
+    };
+    {
+      id = "P002";
+      title = "polymorphic compare on a float/function/mutable-carrying type";
+      rationale =
+        "Structural =, <>, compare, min/max on compound types containing \
+         floats (nan-breaks-reflexivity), functions (raises at runtime) \
+         or mutable fields (compares a moment, not an identity) is how \
+         protocol state sneaks nondeterministic or crashing comparisons \
+         in.  Write a field-wise comparison naming the intended key.";
+    };
+    {
+      id = "L000";
+      title = "lint.allow names an unknown rule";
+      rationale =
+        "A suppression that misspells its rule id silently allows \
+         nothing; the attribute must name an existing rule.";
+    };
+    {
+      id = "L001";
+      title = "lint.allow without a justification";
+      rationale =
+        "Every suppression is a reviewed exception: the attribute \
+         payload is \"<RULE> <justification>\", and the justification \
+         must be non-empty.";
+    };
+    {
+      id = "L002";
+      title = "unused lint.allow";
+      rationale =
+        "A suppression whose scope no longer contains a finding of its \
+         rule is stale and must be deleted, or the allowlist grows \
+         monotonically.";
+    };
+  ]
+
+let known id = List.exists (fun r -> r.id = id) all
+let find id = List.find_opt (fun r -> r.id = id) all

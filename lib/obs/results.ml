@@ -26,7 +26,10 @@ let prior_rows ~schema ~path =
   if not (Sys.file_exists path) then []
   else
     match Json.parse (read_file path) with
-    | Ok doc when Json.member "schema" doc = Some (Json.Str schema) -> (
+    | Ok doc
+      when (match Json.member "schema" doc with
+           | Some (Json.Str s) -> String.equal s schema
+           | Some _ | None -> false) -> (
         match Json.member "results" doc with
         | Some rows -> Json.get_list rows
         | None -> [])

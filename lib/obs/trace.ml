@@ -68,7 +68,10 @@ let ev_json ~pid (e : ev) =
     (* Instants scoped to the thread track, the viewer's default. *)
     if e.ph = 'i' then base @ [ ("s", Json.Str "t") ] else base
   in
-  let base = if e.args = [] then base else base @ [ ("args", Json.Obj e.args) ] in
+  let base =
+    if List.is_empty e.args then base
+    else base @ [ ("args", Json.Obj e.args) ]
+  in
   Json.Obj base
 
 let to_json sinks =

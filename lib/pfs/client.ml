@@ -125,8 +125,10 @@ let group_by_stripe chunks =
   (* stripe order, not Hashtbl fold order: callers iterate the result
      directly (cache writes, read gathers), so the grouping must not
      inherit the hash table's randomizable iteration order *)
-  Hashtbl.fold (fun s ivs acc -> (s, Types.normalize_ranges ivs) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  Det_tbl.fold_sorted ~cmp:Int.compare
+    (fun s ivs acc -> (s, Types.normalize_ranges ivs) :: acc)
+    tbl []
+  |> List.rev
 
 let do_write ?mode ?(lock_whole_range = false) t file ~data_by_stripe =
   t.op_counter <- t.op_counter + 1;

@@ -114,10 +114,9 @@ let flush t ~rid ~ranges =
   end
 
 let flush_all t =
-  let rids = Hashtbl.fold (fun rid _ acc -> rid :: acc) t.dirty [] in
   List.iter
     (fun rid -> flush t ~rid ~ranges:[ Interval.to_eof ~lo:0 ])
-    (List.sort Int.compare rids)
+    (Det_tbl.sorted_keys ~cmp:Int.compare t.dirty)
 
 let flush_daemon t () =
   while true do
@@ -126,7 +125,7 @@ let flush_daemon t () =
       (* Voluntary flushing: drain whole stripes until under the
          threshold, largest first. *)
       let by_size =
-        Hashtbl.fold
+        Det_tbl.fold_sorted ~cmp:Int.compare
           (fun rid m acc ->
             let bytes =
               Extent_map.fold (fun iv _ a -> a + Interval.length iv) !m 0
@@ -134,8 +133,8 @@ let flush_daemon t () =
             if bytes > 0 then (bytes, rid) :: acc else acc)
           t.dirty []
         (* ties broken by rid: equal-sized stripes are the common case,
-           and bytes alone would leave their flush order to Hashtbl
-           iteration order — not stable under randomized hashing *)
+           and bytes alone would leave their flush order to the
+           traversal order — sorted-key iteration keeps it stable *)
         |> List.sort (fun (a, ar) (b, br) ->
                match Int.compare b a with
                | 0 -> Int.compare ar br
@@ -270,19 +269,19 @@ let drop_clean t ~rid ~range =
 
 let lose_all_dirty t =
   let lost = t.dirty_total in
-  Hashtbl.iter (fun _ m -> m := Extent_map.empty) t.dirty;
+  Det_tbl.iter_sorted ~cmp:Int.compare (fun _ m -> m := Extent_map.empty) t.dirty;
   t.dirty_total <- 0;
   Condition.broadcast t.space;
   lost
 
 let dirty_view t =
-  Hashtbl.fold
+  Det_tbl.fold_sorted ~cmp:Int.compare
     (fun rid m acc ->
       match Extent_map.to_list !m with
       | [] -> acc
       | extents -> (rid, extents) :: acc)
     t.dirty []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.rev
 
 let set_audit t f = t.audit <- Some f
 let set_write_observer t f = t.write_obs <- Some f

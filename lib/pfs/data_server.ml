@@ -69,15 +69,15 @@ let stripe t rid =
       s
 
 let total_cache_entries t =
-  Hashtbl.fold (fun _ s acc -> acc + Extent_map.cardinal s.cache) t.stripes 0
+  Det_tbl.fold_sorted ~cmp:Int.compare
+    (fun _ s acc -> acc + Extent_map.cardinal s.cache)
+    t.stripes 0
 
 (* Stripe sweeps iterate rids in this canonical order, never raw
    [Hashtbl.iter] order: under randomized hashing the latter varies from
    process to process, and the sweeps below have order-sensitive effects
    (a budget cut-off, lock-request issue order). *)
-let stripe_rids t =
-  Hashtbl.fold (fun rid _ acc -> rid :: acc) t.stripes []
-  |> List.sort Int.compare
+let stripe_rids t = Det_tbl.sorted_keys ~cmp:Int.compare t.stripes
 
 let pair_eq (a : int * int) (b : int * int) = a = b
 
@@ -249,7 +249,7 @@ let force_sync t =
   if !pending > 0 then Condition.wait_until done_ (fun () -> !pending = 0);
   (* Every write lock has been released, so all data is on the device:
      caches and logs can be cleared. *)
-  Hashtbl.iter
+  Det_tbl.iter_sorted ~cmp:Int.compare
     (fun _ st ->
       t.stats.cleanup_removed <-
         t.stats.cleanup_removed + Extent_map.cardinal st.cache;

@@ -274,13 +274,14 @@ let sleep t d =
         push_event t ~time:(t.now +. d) ~proc:t.current resume)
 
 let blocked_report t =
-  Hashtbl.fold
+  (* keys are pids, so sorted-key traversal is already b_pid order *)
+  Ccpfs_util.Det_tbl.fold_sorted ~cmp:Int.compare
     (fun _ p acc ->
       { b_name = p.name; b_pid = p.pid; b_daemon = p.daemon;
         b_context = p.wait_ctx }
       :: acc)
     t.blocked_procs []
-  |> List.sort (fun a b -> Int.compare a.b_pid b.b_pid)
+  |> List.rev
 
 (* Pop the event to dispatch next.  With a tie chooser installed, all
    events sharing the minimal timestamp are candidates and the chooser

@@ -22,3 +22,8 @@ let shuffle t a =
 let pick t a =
   if Array.length a = 0 then invalid_arg "Det_random.pick: empty array";
   a.(int t (Array.length a))
+
+(* For consumers that need a raw [Random.State.t] (QCheck's [~rand]):
+   still explicitly seeded, and minted here so this stays the only
+   module that touches [Stdlib.Random] (lint rule D002). *)
+let state_of_ints ints = Random.State.make ints

@@ -19,3 +19,9 @@ val shuffle : t -> 'a array -> unit
 
 val pick : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)
+
+val state_of_ints : int array -> Random.State.t
+(** An explicitly seeded raw [Random.State.t], for APIs that demand one
+    (QCheck's [~rand]).  This module is the only one allowed to touch
+    [Stdlib.Random] (lint rule D002); everything else derives its
+    randomness from here or {!Dessim.Engine.random_float}. *)

@@ -1,0 +1,37 @@
+(* Deterministic Hashtbl traversal.
+
+   Stdlib.Hashtbl iteration visits entries in hash-bucket order: it
+   varies with Hashtbl.randomize, the initial size, and insertion
+   history, which is exactly the nondeterminism class PR 4 hand-fixed
+   three times (lint rule D001).  Every traversal here goes through a
+   sorted key list, so the visit order is a function of the table's
+   *contents* only.  Tables are small and off the per-request hot path
+   at every call site; the O(n log n) sort is noise.  Sites that cannot
+   afford it and are provably order-insensitive keep a raw fold under a
+   justified [@lint.allow "D001 ..."] instead. *)
+
+let sorted_keys ?(cmp = compare) tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+  [@lint.allow
+    "D001 this is the one place raw fold order is tolerated: the keys are \
+     immediately sorted below, so no caller can observe bucket order"])
+  |> List.sort_uniq cmp
+
+let iter_sorted ?cmp f tbl =
+  List.iter
+    (fun k -> match Hashtbl.find_opt tbl k with
+      | Some v -> f k v
+      | None -> ())
+    (sorted_keys ?cmp tbl)
+
+let fold_sorted ?cmp f tbl init =
+  List.fold_left
+    (fun acc k ->
+      match Hashtbl.find_opt tbl k with Some v -> f k v acc | None -> acc)
+    init
+    (sorted_keys ?cmp tbl)
+
+let bindings_sorted ?cmp tbl =
+  List.filter_map
+    (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt tbl k))
+    (sorted_keys ?cmp tbl)

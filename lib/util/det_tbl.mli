@@ -1,0 +1,24 @@
+(** Deterministic [Hashtbl] traversal (lint rule D001's prescribed fix).
+
+    Raw [Hashtbl.iter]/[fold] visit entries in hash-bucket order — not
+    stable under [Hashtbl.randomize], table sizing or insertion history.
+    These traversals visit the table in sorted-key order instead, so the
+    result is a function of the table's contents only.
+
+    [cmp] defaults to the polymorphic compare; every table in this repo
+    is keyed by ints, strings or int tuples, for which it is total and
+    deterministic.  Keys are deduplicated ([Hashtbl.add] shadowing), and
+    each key's *current* binding is visited. *)
+
+val sorted_keys : ?cmp:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> 'a list
+val iter_sorted : ?cmp:('a -> 'a -> int) -> ('a -> 'b -> unit) -> ('a, 'b) Hashtbl.t -> unit
+
+val fold_sorted :
+  ?cmp:('a -> 'a -> int) ->
+  ('a -> 'b -> 'acc -> 'acc) ->
+  ('a, 'b) Hashtbl.t ->
+  'acc ->
+  'acc
+
+val bindings_sorted :
+  ?cmp:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> ('a * 'b) list

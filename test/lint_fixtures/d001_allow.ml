@@ -1,0 +1,11 @@
+(* A justified D001 suppression: the fold computes an order-insensitive
+   aggregate, so raw traversal order cannot be observed.  Must produce a
+   suppression record and no finding. *)
+
+let total tbl =
+  (Hashtbl.fold
+     [@lint.allow
+       "D001 fixture: integer sum is commutative, traversal order cannot \
+        be observed"])
+    (fun _ v acc -> acc + v)
+    tbl 0

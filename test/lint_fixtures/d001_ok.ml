@@ -1,0 +1,18 @@
+(* The prescribed D001 fix: sorted-key traversal via [Det_tbl].  Must
+   produce no findings. *)
+
+let group_by_stripe pairs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (stripe, iv) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl stripe) in
+      Hashtbl.replace tbl stripe (iv :: cur))
+    pairs;
+  Ccpfs_util.Det_tbl.fold_sorted ~cmp:Int.compare
+    (fun stripe ivs acc -> (stripe, List.rev ivs) :: acc)
+    tbl []
+  |> List.rev
+
+(* Order-free table operations are fine without any ceremony. *)
+let lookup tbl k = Hashtbl.find_opt tbl k
+let count tbl = Hashtbl.length tbl

@@ -1,0 +1,9 @@
+(* A justified D002 suppression.  Must produce a suppression record and
+   no finding. *)
+
+let entropy () =
+  (Random.bits
+     [@lint.allow
+       "D002 fixture: one-off diagnostics tag, never feeds simulation \
+        state"])
+    ()

@@ -1,0 +1,6 @@
+(* Planted D002: unseeded [Stdlib.Random] outside [Det_random] — the
+   shape of the fuzz seeder bug where a raw draw made "same seed, same
+   case" silently false. *)
+
+let roll () = Random.int 6
+let jitter () = Random.float 1.0

@@ -1,0 +1,5 @@
+(* Randomness drawn through the deterministic, seeded stream.  Must
+   produce no findings. *)
+
+let roll rng = Ccpfs_util.Det_random.int rng 6
+let jitter rng = Ccpfs_util.Det_random.float rng 1.0

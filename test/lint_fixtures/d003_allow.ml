@@ -1,0 +1,9 @@
+(* A justified D003 suppression.  Must produce a suppression record and
+   no finding. *)
+
+let wall () =
+  (Unix.gettimeofday
+     [@lint.allow
+       "D003 fixture: wall-clock is the measured quantity, as in \
+        exp_scale"])
+    ()

@@ -1,0 +1,6 @@
+(* Planted D003: host wall-clock reads outside bench/ — real time
+   leaking into what should be simulated-time-only logic. *)
+
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let coarse () = Unix.time ()

@@ -1,0 +1,5 @@
+(* Time as a parameter (simulated clock), never read from the host.
+   Must produce no findings. *)
+
+let elapsed ~now ~since = now -. since
+let deadline ~now ~timeout = now +. timeout

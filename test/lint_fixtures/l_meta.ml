@@ -1,0 +1,8 @@
+(* Suppression-misuse plants: the lint's own bookkeeping rules.
+   L000 — unknown rule id in an allow attribute;
+   L001 — allow attribute with no justification text;
+   L002 — justified suppression that never fires (stale allow). *)
+
+let unknown_rule = (1 + 1 [@lint.allow "Z999 no such rule exists"])
+let missing_justification = (2 + 2 [@lint.allow "D001"])
+let stale_allow = (3 + 3 [@lint.allow "D002 nothing here draws randomness"])

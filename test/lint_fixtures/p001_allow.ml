@@ -1,0 +1,11 @@
+(* A justified P001 suppression on one arm.  Must produce a suppression
+   record and no finding. *)
+
+let size_of (r : Ccpfs.Meta_server.resp) =
+  match r with
+  | Ccpfs.Meta_server.Attrs a -> a.Ccpfs.Meta_server.size
+  | Ccpfs.Meta_server.Ok | Ccpfs.Meta_server.Enoent ->
+      (assert false
+       [@lint.allow
+         "P001 fixture: unreachable by construction in this harness, \
+          scrutinee built one line above"])

@@ -1,0 +1,14 @@
+(* The PR 2 convention: impossible replies die through
+   [Protocol_error.fail] with endpoint/request/reply context.  Must
+   produce no findings. *)
+
+let size_of (r : Ccpfs.Meta_server.resp) =
+  match r with
+  | Ccpfs.Meta_server.Attrs a -> a.Ccpfs.Meta_server.size
+  | Ccpfs.Meta_server.Ok ->
+      Ccpfs.Protocol_error.fail ~endpoint:"meta" ~request:"Stat" ~got:"Ok"
+  | Ccpfs.Meta_server.Enoent ->
+      Ccpfs.Protocol_error.fail ~endpoint:"meta" ~request:"Stat" ~got:"Enoent"
+
+(* [assert false] over non-reply types is not P001's business. *)
+let parity n = match n mod 2 with 0 -> `Even | 1 -> `Odd | _ -> assert false

@@ -1,0 +1,12 @@
+(* A justified P002 suppression.  Must produce a suppression record and
+   no finding. *)
+
+type sample = { s_time : float; s_value : int }
+
+(* note the extra parens: attributes bind tighter than infix operators,
+   so [a = b [@attr]] would annotate [b] alone *)
+let same (a : sample) (b : sample) =
+  ((a = b)
+  [@lint.allow
+    "P002 fixture: s_time is never NaN here, produced by the simulated \
+     clock which only adds finite deltas"])

@@ -1,0 +1,8 @@
+(* Planted P002: polymorphic comparison on a type carrying a float —
+   NaN makes [=] non-reflexive, so deduplication and change detection
+   built on it silently misbehave. *)
+
+type sample = { s_time : float; s_value : int }
+
+let same (a : sample) (b : sample) = a = b
+let newest (a : sample) (b : sample) = if compare a b > 0 then a else b

@@ -1,0 +1,8 @@
+(* Comparisons on immediate / float-free types are fine.  Must produce
+   no findings. *)
+
+type tag = { t_id : int; t_name : string }
+
+let same_id (a : tag) (b : tag) = a.t_id = b.t_id
+let named (a : tag) n = String.equal a.t_name n
+let ordered a b = Int.compare a b <= 0

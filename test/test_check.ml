@@ -259,6 +259,43 @@ let test_determinism_under_randomized_hashing () =
          Cluster.check_invariants cl;
          Cluster.engine cl))
 
+let test_find_cycles_stable_under_randomized_hashing () =
+  (* Regression for the lint rule D001 finding in [Deadlock.find_cycles]:
+     the DFS shares its [visited] table across roots, so the order the
+     roots are taken in decides which traversal discovers each cycle —
+     and with roots supplied by raw [Hashtbl.iter], two analyses of the
+     same stall could report the same cycles in different orders.  Roots
+     now come from sorted-key iteration; under [Hashtbl.randomize] every
+     call builds its adjacency table with a fresh random seed, so any
+     remaining dependence on bucket order would show up as run-to-run
+     disagreement below. *)
+  Hashtbl.randomize ();
+  let mk_edge w h =
+    {
+      Check.Deadlock.e_waiter = w;
+      e_holder = h;
+      e_rid = 0;
+      e_wait_mode = Mode.PW;
+      e_hold_mode = Mode.PW;
+      e_hold_state = Lcm.Granted;
+      e_wait_ranges = [ iv 0 8 ];
+      e_hold_ranges = [ iv 0 8 ];
+    }
+  in
+  (* Three disjoint 2-cycles: with unsorted roots, whichever component's
+     root the table yields first gets its cycle listed first. *)
+  let edges =
+    List.concat_map
+      (fun (a, b) -> [ mk_edge a b; mk_edge b a ])
+      [ (1, 2); (3, 4); (5, 6) ]
+  in
+  let expect = [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] in
+  for _ = 1 to 60 do
+    Alcotest.(check (list (list int)))
+      "cycle list independent of table seed" expect
+      (Check.Deadlock.find_cycles edges)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Schedule explorer                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -343,6 +380,8 @@ let suite =
       [
         Alcotest.test_case "wait-for graph names the cycle" `Quick
           test_wait_for_graph_cycle;
+        Alcotest.test_case "cycle list stable under randomized hashing" `Quick
+          test_find_cycles_stable_under_randomized_hashing;
       ] );
     ( "check.determinism",
       [

@@ -25,4 +25,5 @@ let () =
             Test_experiments.suite;
             Test_fuzz.suite;
             Test_ha.suite;
+            Test_lint.suite;
           ]))

@@ -686,6 +686,54 @@ let test_det_random () =
   Alcotest.(check int) "splits agree" (Det_random.int s1 1000)
     (Det_random.int s1' 1000)
 
+let test_det_random_state_of_ints () =
+  (* [state_of_ints] must reproduce the exact stream the fuzz seeder
+     historically drew from [Random.State.make]: pinned corpus seeds and
+     CI reproduction lines encode offsets into it. *)
+  let a = Det_random.state_of_ints [| 7; 0x51a7e |] in
+  let b = Random.State.make [| 7; 0x51a7e |] in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "stream-identical to Random.State.make"
+      (Random.State.int b 1_000_000)
+      (Random.State.int a 1_000_000)
+  done
+
+let test_det_tbl_sorted_traversal () =
+  (* All four traversals must visit in sorted-key order regardless of
+     the table's (randomized) bucket layout. *)
+  Hashtbl.randomize ();
+  let tbl = Hashtbl.create 4 in
+  List.iter (fun k -> Hashtbl.replace tbl k (k * 10)) [ 5; 3; 9; 1; 7; 2 ];
+  Alcotest.(check (list int)) "sorted_keys" [ 1; 2; 3; 5; 7; 9 ]
+    (Det_tbl.sorted_keys ~cmp:Int.compare tbl);
+  let seen = ref [] in
+  Det_tbl.iter_sorted ~cmp:Int.compare (fun k v -> seen := (k, v) :: !seen) tbl;
+  Alcotest.(check (list (pair int int)))
+    "iter_sorted"
+    [ (1, 10); (2, 20); (3, 30); (5, 50); (7, 70); (9, 90) ]
+    (List.rev !seen);
+  Alcotest.(check (list int)) "fold_sorted"
+    [ 9; 7; 5; 3; 2; 1 ]
+    (Det_tbl.fold_sorted ~cmp:Int.compare (fun k _ acc -> k :: acc) tbl []);
+  Alcotest.(check (list (pair int int)))
+    "bindings_sorted"
+    [ (1, 10); (2, 20); (3, 30); (5, 50); (7, 70); (9, 90) ]
+    (Det_tbl.bindings_sorted ~cmp:Int.compare tbl)
+
+let test_det_tbl_shadowed_bindings () =
+  (* [Hashtbl.add] shadowing: keys are deduplicated and only each key's
+     current binding is visited. *)
+  let tbl = Hashtbl.create 4 in
+  Hashtbl.add tbl 1 "old";
+  Hashtbl.add tbl 1 "new";
+  Hashtbl.add tbl 2 "only";
+  Alcotest.(check (list int)) "keys deduplicated" [ 1; 2 ]
+    (Det_tbl.sorted_keys ~cmp:Int.compare tbl);
+  Alcotest.(check (list (pair int string)))
+    "current binding wins"
+    [ (1, "new"); (2, "only") ]
+    (Det_tbl.bindings_sorted ~cmp:Int.compare tbl)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ()) in
   [
@@ -753,5 +801,14 @@ let suite =
         Alcotest.test_case "table render" `Quick test_table_render;
         Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
         Alcotest.test_case "det_random" `Quick test_det_random;
+        Alcotest.test_case "det_random state_of_ints" `Quick
+          test_det_random_state_of_ints;
+      ] );
+    ( "util.det_tbl",
+      [
+        Alcotest.test_case "sorted traversal" `Quick
+          test_det_tbl_sorted_traversal;
+        Alcotest.test_case "shadowed bindings" `Quick
+          test_det_tbl_shadowed_bindings;
       ] );
   ]
