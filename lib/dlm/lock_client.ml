@@ -38,6 +38,15 @@ type recovery_lock = {
   r_state : Lcm.lock_state;
 }
 
+(* Pending control messages for one lock server, awaiting a ride on that
+   node's data traffic (DESIGN.md §13).  [pb_msgs] is kept reversed;
+   takers restore send order. *)
+type pb_queue = {
+  pb_srv : Lock_server.t;
+  mutable pb_msgs : Types.ctl_msg list;
+  mutable pb_armed : bool;
+}
+
 type t = {
   eng : Engine.t;
   params : Params.t;
@@ -49,6 +58,8 @@ type t = {
   by_rid : (Types.resource_id, cached_lock list ref) Hashtbl.t;
   registered : (string, unit) Hashtbl.t;
   pending_revokes : (Types.resource_id * int, unit) Hashtbl.t;
+  pb : (string, pb_queue) Hashtbl.t; (* server node name -> pending ctl *)
+  mutable piggyback : float option; (* hold-back delay; None = off *)
   mutable revoke_ep : (Types.server_msg, unit) Rpc.endpoint option;
   mutable recover_ep : (recovery_query, recovery_lock list) Rpc.endpoint option;
   view : Rpc.View.t;
@@ -81,6 +92,39 @@ let server t rid =
   end;
   srv
 
+(* Piggybacking (DESIGN.md §13).  With batching on, control messages are
+   parked here for up to [piggyback] seconds hoping a flush RPC towards
+   the same server picks them up ([take_piggyback], wired into the data
+   cache); the delay-timer drains leftovers as plain notifies, which the
+   transport batch then coalesces.  Per-server order is preserved — the
+   queue is FIFO and a taker always takes everything. *)
+let pb_queue t srv =
+  let key = Node.name (Lock_server.node srv) in
+  match Hashtbl.find_opt t.pb key with
+  | Some q -> q
+  | None ->
+      let q = { pb_srv = srv; pb_msgs = []; pb_armed = false } in
+      Hashtbl.add t.pb key q;
+      q
+
+let pb_take q =
+  let msgs = List.rev q.pb_msgs in
+  q.pb_msgs <- [];
+  msgs
+
+let pb_drain t q =
+  List.iter
+    (fun msg -> Rpc.notify (Lock_server.ctl_endpoint q.pb_srv) ~src:t.node msg)
+    (pb_take q)
+
+let pb_arm t q delay =
+  if not q.pb_armed then begin
+    q.pb_armed <- true;
+    Engine.schedule t.eng ~delay (fun () ->
+        q.pb_armed <- false;
+        pb_drain t q)
+  end
+
 (* Control messages (release / downgrade / revoke-ack) are fire-and-
    forget.  Under the HA regime they must also be *reliable*: a Release
    dropped during a server outage — after the recovery coordinator has
@@ -91,8 +135,14 @@ let server t rid =
 let send_ctl t srv msg =
   let ep = Lock_server.ctl_endpoint srv in
   match t.rel with
-  | None -> Rpc.notify ep ~src:t.node msg
   | Some rel -> Rpc.send_reliable ep ~src:t.node ~reliability:rel ~view:t.view msg
+  | None -> (
+      match t.piggyback with
+      | None -> Rpc.notify ep ~src:t.node msg
+      | Some delay ->
+          let q = pb_queue t srv in
+          q.pb_msgs <- msg :: q.pb_msgs;
+          pb_arm t q delay)
 
 (* The cancel path (§III-A2, §III-D2).  Runs as its own process: waits
    out ongoing holders, downgrades, flushes, releases. *)
@@ -109,18 +159,49 @@ let start_cancel t (l : cached_lock) =
           (fun () -> l.holders = 0);
         let srv = server t l.rid in
         let convert = (Lock_server.policy srv).Policy.auto_convert in
-        let release () =
+        let release_msg = Types.Release { rid = l.rid; lock_id = l.lock_id } in
+        let release ~parked () =
           (* The lock protected any clean data cached under it; once it is
              gone the client may no longer serve reads from that data. *)
           t.hooks.invalidate ~rid:l.rid ~ranges:l.ranges;
-          send_ctl t srv (Types.Release { rid = l.rid; lock_id = l.lock_id });
+          (if parked then begin
+             (* The release was parked for the flush RPC.  If the flush
+                carried it, it is gone from the queue (applied at the
+                server after the blocks); if the cache had nothing dirty
+                no RPC went out, so reclaim it and send it plainly.
+                Everything here runs in the flush's returning event, so
+                no drain timer can race the reclaim. *)
+             let q = pb_queue t srv in
+             if List.memq release_msg q.pb_msgs then begin
+               q.pb_msgs <-
+                 List.filter (fun m -> m != release_msg) q.pb_msgs;
+               Rpc.notify (Lock_server.ctl_endpoint srv) ~src:t.node
+                 release_msg
+             end
+           end
+           else send_ctl t srv release_msg);
           remove_lock t l
         in
+        (* Flush-then-release, the §III-B rule: with piggybacking on, the
+           release is parked *before* the flush so the Write_flush built
+           in this same event carries it — the data server applies it
+           right after the blocks are durable, and the trailing control
+           courier disappears (DESIGN.md §13). *)
+        let flush_release () =
+          let parked =
+            match (t.rel, t.piggyback) with
+            | None, Some _ ->
+                let q = pb_queue t srv in
+                q.pb_msgs <- release_msg :: q.pb_msgs;
+                true
+            | _ -> false
+          in
+          t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
+          release ~parked ()
+        in
         match l.cmode with
-        | Mode.PR -> release ()
-        | Mode.NBW ->
-            t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
-            release ()
+        | Mode.PR -> release ~parked:false ()
+        | Mode.NBW -> flush_release ()
         | Mode.BW ->
             if convert then begin
               (* Downgrade before flushing so conflicting write requests
@@ -130,8 +211,7 @@ let start_cancel t (l : cached_lock) =
                 (Types.Downgrade
                    { rid = l.rid; lock_id = l.lock_id; mode = Mode.NBW })
             end;
-            t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
-            release ()
+            flush_release ()
         | Mode.PW ->
             if convert && t.hooks.has_dirty ~rid:l.rid ~ranges:l.ranges then begin
               l.cmode <- Mode.NBW;
@@ -140,8 +220,7 @@ let start_cancel t (l : cached_lock) =
               send_ctl t srv
                 (Types.Downgrade
                    { rid = l.rid; lock_id = l.lock_id; mode = Mode.NBW });
-              t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
-              release ()
+              flush_release ()
             end
             else if convert then begin
               (* Read-only use: nothing to flush, shrink to PR so pending
@@ -150,12 +229,9 @@ let start_cancel t (l : cached_lock) =
               send_ctl t srv
                 (Types.Downgrade
                    { rid = l.rid; lock_id = l.lock_id; mode = Mode.PR });
-              release ()
+              release ~parked:false ()
             end
-            else begin
-              t.hooks.flush ~rid:l.rid ~ranges:l.ranges;
-              release ()
-            end)
+            else flush_release ())
   end
 
 let handle_revoke t (msg : Types.server_msg) =
@@ -214,6 +290,8 @@ let create eng params ~node ~client_id ~route ~hooks =
       by_rid = Hashtbl.create 16;
       registered = Hashtbl.create 8;
       pending_revokes = Hashtbl.create 8;
+      pb = Hashtbl.create 8;
+      piggyback = None;
       revoke_ep = None;
       recover_ep = None;
       view = Rpc.View.create ~salt:client_id ();
@@ -296,6 +374,13 @@ let acquire t ~rid ~mode ~ranges =
       l
   | None ->
       let srv = server t rid in
+      (* Push parked control traffic for this server out ahead of the
+         request (best effort: ctl and lock ride separate batch queues,
+         and the server tolerates either arrival order — unknown lock
+         ids no-op, own-lock conflicts convert). *)
+      (match Hashtbl.find_opt t.pb (Node.name (Lock_server.node srv)) with
+      | Some q -> pb_drain t q
+      | None -> ());
       let t0 = Engine.now t.eng in
       let req = { Types.client = t.id; rid; mode; ranges } in
       let ep = Lock_server.lock_endpoint srv in
@@ -344,6 +429,20 @@ let cached_locks t = Hashtbl.length t.locks
 let client_id t = t.id
 let view t = t.view
 let set_reliability t rel = t.rel <- Some rel
+
+let set_piggyback t ~delay =
+  if delay < 0. then invalid_arg "Lock_client.set_piggyback: delay < 0";
+  t.piggyback <- Some delay
+
+let take_piggyback t ~rid =
+  match t.piggyback with
+  | None -> []
+  | Some _ -> (
+      match
+        Hashtbl.find_opt t.pb (Node.name (Lock_server.node (t.route rid)))
+      with
+      | None -> []
+      | Some q -> pb_take q)
 let reliability t = t.rel
 let retries t = Rpc.View.retries t.view
 let recovery_endpoint t = Option.get t.recover_ep

@@ -93,6 +93,25 @@ val locks_for_recovery :
 val set_reliability : t -> Netsim.Rpc.reliability -> unit
 val reliability : t -> Netsim.Rpc.reliability option
 
+(** {1 Piggybacking (DESIGN.md §13)}
+
+    When the policy rides releases on flush traffic
+    ([Policy.piggyback_release] — SeqDLM's release-on-last-flush-block
+    rule, paper §III-B), outgoing control messages (revoke-acks,
+    downgrades, releases) are parked per server for up to [delay]
+    seconds: a flush RPC towards the same server takes them along
+    ({!take_piggyback}, wired into the data cache by {!Client}), and a
+    delay-timer drains leftovers as plain notifies.  Per-server send
+    order is preserved.  Only legal on the plain transport — under a
+    retry policy control messages must stay individually reliable, so
+    {!Client} never enables both. *)
+
+val set_piggyback : t -> delay:float -> unit
+val take_piggyback : t -> rid:Types.resource_id -> Types.ctl_msg list
+(** Remove and return every parked control message for the server owning
+    [rid], in send order; [[]] when piggybacking is off or nothing is
+    parked. *)
+
 val view : t -> Netsim.Rpc.View.t
 (** The client's epoch view and request-id allocator, shared with the
     PFS layer so data-server I/O is fenced by the same epochs. *)

@@ -13,6 +13,11 @@ type t = {
   auto_convert : bool;
   datatype_requests : bool;
   selection : mode_selection;
+  piggyback_release : bool;
+      (** Ride the final Release (and any pending control messages) on the
+          revocation flush instead of sending them as separate RPCs —
+          SeqDLM's release-on-last-flush-block rule (paper §III-B).
+          The traditional baselines send each control message on its own. *)
 }
 
 let seqdlm =
@@ -24,6 +29,7 @@ let seqdlm =
     auto_convert = true;
     datatype_requests = false;
     selection = Seq_modes;
+    piggyback_release = true;
   }
 
 let dlm_basic =
@@ -35,6 +41,7 @@ let dlm_basic =
     auto_convert = false;
     datatype_requests = false;
     selection = Traditional_modes;
+    piggyback_release = false;
   }
 
 let dlm_lustre =

@@ -39,6 +39,11 @@ type t = {
   datatype_requests : bool;
       (** clients send the exact non-contiguous range list *)
   selection : mode_selection;
+  piggyback_release : bool;
+      (** ride the final Release (and pending control messages) on the
+          revocation flush instead of separate RPCs — SeqDLM's
+          release-on-last-flush-block rule (§III-B). Baselines send each
+          control message on its own. *)
 }
 
 val seqdlm : t

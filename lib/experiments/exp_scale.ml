@@ -32,7 +32,26 @@ let client_counts () =
 
 let xfer = 64 * Units.kib
 
+(* Span of the deterministic per-write think-time jitter.  Without it the
+   convoy is perfectly symmetric: after the first round every write
+   experiences the identical steady-state queue wait, all samples are
+   bit-for-bit equal and p50 == p99 exactly (the committed-bench
+   degeneracy this knob fixes).  Real clients never arrive in lockstep;
+   a uniform [0, 50µs) pause before each write — excluded from the
+   measured latency — desynchronises arrivals enough that the recorded
+   distribution has genuine spread, while staying two orders of
+   magnitude below the multi-ms queue waits it perturbs. *)
+let think_jitter_span = 50e-6
+
+(* Batch factors measured per client count: the plain transport and, for
+   comparison, per-destination RPC batching at CCPFS_BATCH (default 8).
+   Each produces its own tagged row in BENCH_scale.json. *)
+let batch_points () =
+  let k = Config.default.Config.batch_k in
+  [ 0; (if k > 1 then k else 8) ]
+
 type measurement = {
+  m_batch_k : int;
   m_clients : int;
   m_writes_each : int;
   m_wall_s : float; (* real elapsed seconds for the measured pass *)
@@ -48,9 +67,10 @@ type measurement = {
    (sanitizer attach, PIO/F split, invariant sweep) but times the pass
    with a real clock and keeps Obs.Results untouched — scale rows go to
    BENCH_scale.json, not BENCH_experiments.json. *)
-let run_one ~clients ~writes_each =
+let run_one ~clients ~writes_each ~batch_k =
   let one_pass () =
-    let cl = Cluster.create ~policy:Seqdlm.Policy.seqdlm ~n_servers:1
+    let config = Config.with_batching ~k:batch_k Config.default in
+    let cl = Cluster.create ~config ~policy:Seqdlm.Policy.seqdlm ~n_servers:1
         ~n_clients:clients ()
     in
     let eng = Cluster.engine cl in
@@ -61,10 +81,13 @@ let run_one ~clients ~writes_each =
     if Check.Sanitize.enabled () then Check.Sanitize.attach_cluster cl;
     let lat = Stats.create () in
     let writers_done = ref 0. in
+    let root_rng = Det_random.create ~seed:0x5ca1e in
     for i = 0 to clients - 1 do
+      let rng = Det_random.split root_rng in
       Cluster.spawn_client cl i ~name:(Printf.sprintf "w%d" i) (fun c ->
           let f = Client.open_file c ~create:true "/scale" in
           for _ = 1 to writes_each do
+            Dessim.Engine.sleep eng (Det_random.float rng think_jitter_span);
             let t0 = Cluster.now cl in
             Client.write ~mode:Seqdlm.Mode.PW ~lock_whole_range:true c f
               ~off:0 ~len:xfer;
@@ -106,6 +129,7 @@ let run_one ~clients ~writes_each =
   in
   let s = Cluster.sum_lock_stats cl in
   {
+    m_batch_k = batch_k;
     m_clients = clients;
     m_writes_each = writes_each;
     m_wall_s = wall;
@@ -125,6 +149,7 @@ let row_of (m : measurement) =
     [
       ("experiment", Str "scale");
       ("scale", Float (Obs.Hub.scale ()));
+      ("batch_k", Int m.m_batch_k);
       ("clients", Int m.m_clients);
       ("writes_each", Int m.m_writes_each);
       ("xfer_bytes", Int xfer);
@@ -180,25 +205,30 @@ let run ~scale =
            writes_each
            (Units.bytes_to_string xfer))
       ~columns:
-        [ "clients"; "wall"; "events/s"; "reqs/s"; "max queue"; "lat p50";
-          "lat p99" ]
+        [ "clients"; "batch"; "wall"; "events/s"; "reqs/s"; "max queue";
+          "lat p50"; "lat p99" ]
   in
   let rows =
-    List.map
+    List.concat_map
       (fun clients ->
-        let m = run_one ~clients ~writes_each in
-        Table.add_row tbl
-          [
-            string_of_int m.m_clients;
-            Units.seconds_to_string m.m_wall_s;
-            Printf.sprintf "%.3g" (float_of_int m.m_events /. Float.max 1e-9 m.m_wall_s);
-            Printf.sprintf "%.3g"
-              (float_of_int m.m_requests /. Float.max 1e-9 m.m_wall_s);
-            string_of_int m.m_lock_stats.max_queue;
-            Units.seconds_to_string (Stats.percentile m.m_write_lat 50.);
-            Units.seconds_to_string (Stats.percentile m.m_write_lat 99.);
-          ];
-        row_of m)
+        List.map
+          (fun batch_k ->
+            let m = run_one ~clients ~writes_each ~batch_k in
+            Table.add_row tbl
+              [
+                string_of_int m.m_clients;
+                (if m.m_batch_k > 1 then string_of_int m.m_batch_k else "off");
+                Units.seconds_to_string m.m_wall_s;
+                Printf.sprintf "%.3g"
+                  (float_of_int m.m_events /. Float.max 1e-9 m.m_wall_s);
+                Printf.sprintf "%.3g"
+                  (float_of_int m.m_requests /. Float.max 1e-9 m.m_wall_s);
+                string_of_int m.m_lock_stats.max_queue;
+                Units.seconds_to_string (Stats.percentile m.m_write_lat 50.);
+                Units.seconds_to_string (Stats.percentile m.m_write_lat 99.);
+              ];
+            row_of m)
+          (batch_points ()))
       (client_counts ())
   in
   let n = write_rows rows in

@@ -23,6 +23,10 @@ type sim = {
   jitter : float;
   loss : float;
   dup : float;
+  batch : int;
+      (* RPC batch factor for the plain transport (0/1 = unbatched);
+         cases drawing batch > 1 exercise batch-boundary schedules —
+         flush-on-size, flush-on-timer and crashes between them. *)
   phases : phase list;
 }
 
@@ -85,9 +89,10 @@ let summary t =
         t.seed (policy_of s).Seqdlm.Policy.name s.n_clients s.n_servers
         s.stripes (List.length s.phases) (sim_op_count s) (crash_count t)
         (mid_crash_count t)
-        (if s.loss > 0. || s.dup > 0. then
-           Printf.sprintf ", loss %.3f dup %.3f" s.loss s.dup
-         else "")
+        ((if s.loss > 0. || s.dup > 0. then
+            Printf.sprintf ", loss %.3f dup %.3f" s.loss s.dup
+          else "")
+        ^ if s.batch > 1 then Printf.sprintf ", batch %d" s.batch else "")
 
 let pp_op ppf = function
   | Write { block; blocks } ->
@@ -103,9 +108,9 @@ let pp ppf t =
   | Sim s ->
       Format.fprintf ppf
         "  dirty %d/%d pages, extent-cache limit %d, tie_random %b, jitter \
-         %gs, loss %g, dup %g@,"
+         %gs, loss %g, dup %g, batch %d@,"
         s.dirty_min_blocks s.dirty_max_blocks s.extent_cache_limit s.tie_random
-        s.jitter s.loss s.dup;
+        s.jitter s.loss s.dup s.batch;
       List.iteri
         (fun pi (p : phase) ->
           Format.fprintf ppf "  phase %d%s%s:@," pi
@@ -188,6 +193,7 @@ let to_json t =
             ("jitter", Float s.jitter);
             ("loss", Float s.loss);
             ("dup", Float s.dup);
+            ("batch", Int s.batch);
             ( "phases",
               List
                 (List.map
@@ -262,7 +268,8 @@ let to_ocaml_test t =
         s.dirty_max_blocks s.extent_cache_limit;
       add "        tie_random = %b; jitter = %s;\n" s.tie_random
         (ml_float s.jitter);
-      add "        loss = %s; dup = %s;\n" (ml_float s.loss) (ml_float s.dup);
+      add "        loss = %s; dup = %s; batch = %d;\n" (ml_float s.loss)
+        (ml_float s.dup) s.batch;
       add "        phases =\n          [\n";
       List.iter
         (fun (p : phase) ->

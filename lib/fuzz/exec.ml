@@ -33,6 +33,10 @@ let config_of (s : Case.sim) =
     dirty_max = s.dirty_max_blocks * page;
     extent_cache_limit = s.extent_cache_limit;
     extent_log = true;
+    (* The case's own batch draw wins; CCPFS_BATCH (already folded into
+       Config.default.batch_k) forces batching onto cases that drew 0,
+       so `CCPFS_BATCH=8 ccpfs_run fuzz` sweeps the corpus batched. *)
+    batch_k = (if s.batch > 1 then s.batch else Config.default.batch_k);
   }
 
 let install_inject cl = function

@@ -141,6 +141,12 @@ let gen_sim ?(faults = false) seed rng =
       | [] -> phases
     else phases
   in
+  (* Batch draw is last for the same seed-stability reason as the fault
+     draws above: a third of cases turn per-destination RPC batching on,
+     with k spanning the flush-on-size / flush-on-timer boundary. *)
+  let batch =
+    if Det_random.int rng 3 = 0 then 2 + Det_random.int rng 7 else 0
+  in
   {
     Case.seed;
     params;
@@ -159,6 +165,7 @@ let gen_sim ?(faults = false) seed rng =
           jitter;
           loss;
           dup;
+          batch;
           phases;
         };
   }

@@ -26,6 +26,20 @@ type 'resp dedup_entry = {
   mutable de_pending : ('resp -> unit) list;
 }
 
+(* Per-endpoint request coalescing (the transport half of the batching
+   design, DESIGN.md §13): plain calls/notifications destined for this
+   endpoint queue here and ride one simulated message, flushed when
+   [b_max] messages have accumulated or [b_delay] elapses since the
+   queue went non-empty.  Fenced traffic never batches — the loss/dup/
+   fencing model is per-message. *)
+type ('req, 'resp) batch = {
+  b_max : int;
+  b_delay : float;
+  mutable b_items : ('req * int * ('resp -> unit)) list; (* reversed *)
+  mutable b_armed : bool; (* a delay-timer flush is pending *)
+  b_size : Obs.Metrics.histogram; (* rpc.batch.size.<name> *)
+}
+
 type ('req, 'resp) endpoint = {
   eng : Engine.t;
   params : Params.t;
@@ -38,8 +52,12 @@ type ('req, 'resp) endpoint = {
   mutable down : bool; (* crashed: fenced deliveries are dropped *)
   mutable incarnation : int; (* bumped by [reset]: cuts in-flight requests *)
   dedup : (int, 'resp dedup_entry) Hashtbl.t;
+  dedup_order : int Queue.t; (* dedup insertion order, for FIFO pruning *)
+  mutable dedup_cap : int;
   mutable fault : fault option; (* loss/duplication, fenced traffic only *)
   retry_counter : Obs.Metrics.counter;
+  mutable batch : ('req, 'resp) batch option;
+  mutable batch_handler : (('req * ('resp -> unit)) list -> unit) option;
 }
 
 (* A client's knowledge of server epochs, plus its request-id allocator
@@ -70,14 +88,21 @@ module View = struct
   let note_retry t = t.retries <- t.retries + 1
 end
 
+(* Bounded at-most-once retention: keep at most [dedup_cap] request ids,
+   dropping the oldest *completed* entries first.  An entry whose handler
+   has not replied yet is never dropped (its parked reply senders must
+   fire), so the table is bounded by cap + in-flight handlers. *)
+let default_dedup_cap = 4096
+
 let endpoint eng params ~node ~name ~handler =
   let latency =
     Obs.Metrics.histogram (Engine.metrics eng) ("rpc.latency." ^ name)
   in
   let retry_counter = Obs.Metrics.counter (Engine.metrics eng) "rpc.retry" in
   { eng; params; node; name; handler; count = 0; latency; epoch = 0;
-    down = false; incarnation = 0; dedup = Hashtbl.create 64; fault = None;
-    retry_counter }
+    down = false; incarnation = 0; dedup = Hashtbl.create 64;
+    dedup_order = Queue.create (); dedup_cap = default_dedup_cap;
+    fault = None; retry_counter; batch = None; batch_handler = None }
 
 (* Request journey, run in the context of some process: propagation, then
    the server's NIC pipe, then its RPC processor. *)
@@ -124,18 +149,96 @@ let reply_courier t ~src ~resp_bytes ivar resp =
       Resource.consume (pipe_for src t.params resp_bytes) (float_of_int resp_bytes);
       Ivar.fill ivar resp)
 
+(* Deliver a flushed batch: one courier pays propagation once, the NIC
+   pipe for the summed payload, and a single RPC-processor operation
+   amortized over the whole batch (the Eq. 1 term-① win batching buys).
+   Messages are then served strictly in enqueue order — through the
+   vectorized batch handler when one is installed, else one handler call
+   per message. *)
+let flush_batch t b cause =
+  match List.rev b.b_items with
+  | [] -> ()
+  | items ->
+      b.b_items <- [];
+      let n = List.length items in
+      let bytes = List.fold_left (fun a (_, by, _) -> a + by) 0 items in
+      Obs.Metrics.observe b.b_size (float_of_int n);
+      Engine.spawn t.eng ~name:(t.name ^ ".batch")
+        (fun () ->
+          serve_span t "batch" bytes (fun () ->
+              Engine.sleep t.eng (t.params.Params.rtt /. 2.);
+              Node.add_net_bytes t.node bytes;
+              Resource.consume (pipe_for t.node t.params bytes)
+                (float_of_int bytes);
+              Resource.consume (Node.ops t.node) 1.;
+              List.iter (fun _ -> Node.incr_rpc t.node) items;
+              t.count <- t.count + n;
+              let sink = Engine.trace_sink t.eng in
+              if Obs.Trace.enabled sink then
+                Obs.Trace.instant sink ~ts:(Engine.now t.eng)
+                  ~tid:(Engine.current_pid t.eng) ~cat:"rpc"
+                  ~args:
+                    [ ("endpoint", Obs.Json.Str t.name);
+                      ("n", Obs.Json.Int n); ("bytes", Obs.Json.Int bytes);
+                      ("cause", Obs.Json.Str cause) ]
+                  "rpc.batch.flush";
+              match t.batch_handler with
+              | Some bh -> bh (List.map (fun (r, _, rep) -> (r, rep)) items)
+              | None ->
+                  List.iter (fun (r, _, rep) -> t.handler r ~reply:rep) items))
+
+(* Queue a message on the batch; flush immediately on reaching b_max,
+   else make sure a delay-timer flush is armed.  The timer event keeps
+   the engine's heap non-empty while messages wait, so a caller blocked
+   on a batched reply can never deadlock the run loop. *)
+let enqueue_batch t b ~bytes ~reply req =
+  b.b_items <- (req, bytes, reply) :: b.b_items;
+  if List.length b.b_items >= b.b_max then flush_batch t b "size"
+  else if not b.b_armed then begin
+    b.b_armed <- true;
+    Engine.schedule t.eng ~delay:b.b_delay (fun () ->
+        b.b_armed <- false;
+        flush_batch t b "timer")
+  end
+
+let set_batching t ~max_batch ~delay =
+  if max_batch < 1 || delay < 0. then
+    invalid_arg "Rpc.set_batching: max_batch must be >= 1, delay >= 0";
+  (match t.batch with Some b -> flush_batch t b "reconfig" | None -> ());
+  let b_size =
+    Obs.Metrics.histogram (Engine.metrics t.eng) ("rpc.batch.size." ^ t.name)
+  in
+  t.batch <-
+    Some { b_max = max_batch; b_delay = delay; b_items = []; b_armed = false;
+           b_size }
+
+let clear_batching t =
+  match t.batch with
+  | None -> ()
+  | Some b ->
+      flush_batch t b "reconfig";
+      t.batch <- None
+
+let set_batch_handler t bh = t.batch_handler <- Some bh
+
 let call_async t ~src ?req_bytes ?resp_bytes req =
   let req_bytes = Option.value req_bytes ~default:t.params.Params.ctl_msg_bytes in
   let resp_bytes =
     Option.value resp_bytes ~default:t.params.Params.ctl_msg_bytes
   in
   let ivar = Ivar.create t.eng in
-  Engine.spawn t.eng ~name:(t.name ^ ".req")
-    (fun () ->
-      serve_span t "serve" req_bytes (fun () ->
-          inbound t req_bytes;
-          t.handler req ~reply:(fun resp ->
-              reply_courier t ~src ~resp_bytes ivar resp)));
+  (match t.batch with
+  | Some b ->
+      enqueue_batch t b ~bytes:req_bytes
+        ~reply:(fun resp -> reply_courier t ~src ~resp_bytes ivar resp)
+        req
+  | None ->
+      Engine.spawn t.eng ~name:(t.name ^ ".req")
+        (fun () ->
+          serve_span t "serve" req_bytes (fun () ->
+              inbound t req_bytes;
+              t.handler req ~reply:(fun resp ->
+                  reply_courier t ~src ~resp_bytes ivar resp))));
   ivar
 
 let call t ~src ?req_bytes ?resp_bytes req =
@@ -163,11 +266,14 @@ let call t ~src ?req_bytes ?resp_bytes req =
 let notify t ~src ?req_bytes req =
   let req_bytes = Option.value req_bytes ~default:t.params.Params.ctl_msg_bytes in
   ignore src;
-  Engine.spawn t.eng ~name:(t.name ^ ".notify")
-    (fun () ->
-      serve_span t "notify" req_bytes (fun () ->
-          inbound t req_bytes;
-          t.handler req ~reply:(fun () -> ())))
+  match t.batch with
+  | Some b -> enqueue_batch t b ~bytes:req_bytes ~reply:(fun () -> ()) req
+  | None ->
+      Engine.spawn t.eng ~name:(t.name ^ ".notify")
+        (fun () ->
+          serve_span t "notify" req_bytes (fun () ->
+              inbound t req_bytes;
+              t.handler req ~reply:(fun () -> ())))
 
 let calls t = t.count
 let name t = t.name
@@ -189,7 +295,29 @@ let reset t =
      incarnation are dropped at delivery, and the dedup table — volatile
      server memory — is lost with everything else. *)
   t.incarnation <- t.incarnation + 1;
-  Hashtbl.reset t.dedup
+  Hashtbl.reset t.dedup;
+  Queue.clear t.dedup_order
+
+let set_dedup_cap t cap =
+  if cap < 1 then invalid_arg "Rpc.set_dedup_cap: cap must be >= 1";
+  t.dedup_cap <- cap
+
+(* Evict oldest completed dedup entries once over cap.  Pruning stops at
+   the first still-pending entry: its parked reply senders must fire, and
+   FIFO retention keeps the guarantee simple — everything newer than the
+   oldest retained id is still deduplicated. *)
+let prune_dedup t =
+  let continue = ref true in
+  while !continue && Hashtbl.length t.dedup > t.dedup_cap do
+    match Queue.peek_opt t.dedup_order with
+    | None -> continue := false
+    | Some oldest -> (
+        match Hashtbl.find_opt t.dedup oldest with
+        | Some e when e.de_result = None -> continue := false
+        | _ ->
+            ignore (Queue.pop t.dedup_order);
+            Hashtbl.remove t.dedup oldest)
+  done
 
 let set_fault t ~loss ~dup ~rng =
   if loss < 0. || loss > 1. || dup < 0. || dup > 1. then
@@ -250,6 +378,8 @@ let deliver_fenced t ~src ~req_bytes ~resp_bytes ~epoch:req_epoch ~req_id ~inc
             | None ->
                 let e = { de_result = None; de_pending = [ send_reply ] } in
                 Hashtbl.add t.dedup id e;
+                Queue.push id t.dedup_order;
+                prune_dedup t;
                 t.handler req ~reply:(fun resp ->
                     match e.de_result with
                     | Some _ -> () (* handler double-reply: keep the first *)
@@ -314,12 +444,21 @@ let call_reliable t ~src ?req_bytes ?resp_bytes ?reliability ~view req =
       note_retry t view ~attempt:(k + 1);
       (match reliability with
       | None -> ()
-      | Some rel ->
-          let d = Float.min backoff rel.rel_max_backoff in
+      | Some _ ->
           (* Jittered exponential backoff; the jitter draw comes from the
              engine's deterministic stream. *)
-          Engine.sleep t.eng (d +. Engine.random_float t.eng (d /. 2.)));
-      attempt (k + 1) (backoff *. 2.)
+          Engine.sleep t.eng
+            (backoff +. Engine.random_float t.eng (backoff /. 2.)));
+      (* Clamp the accumulator itself, not just the drawn delay: a long
+         outage doubles it once per attempt, and an unclamped float
+         marches toward infinity (and loses the plateau if the cap is
+         ever applied after jitter). *)
+      let next =
+        match reliability with
+        | None -> backoff
+        | Some rel -> Float.min (backoff *. 2.) rel.rel_max_backoff
+      in
+      attempt (k + 1) next
     in
     match outcome with
     | Reply (resp, e) when e >= View.epoch view t.name ->

@@ -28,6 +28,11 @@ type t = {
       (* flushes go through the fenced retry path when the cluster runs
          with failover enabled: a Write_flush must survive a data-server
          outage, and at-most-once dedup keeps retries idempotent *)
+  mutable ctl_source : (rid:int -> Seqdlm.Types.ctl_msg list) option;
+      (* batching mode (DESIGN.md §13): the lock client's pending
+         acks/downgrades/releases for the stripe's server, drained here
+         so they ride the flush RPC instead of going as separate
+         messages; their bytes are added to the wire size *)
 }
 
 let rid_map t rid =
@@ -69,13 +74,18 @@ let flush t ~rid ~ranges =
     in
     t.flushed_bytes <- t.flushed_bytes + bytes;
     t.n_flush_rpcs <- t.n_flush_rpcs + 1;
+    let ctl =
+      match t.ctl_source with None -> [] | Some f -> f ~rid
+    in
     let wire_bytes =
-      if t.config.Config.flush_wire_page_only then min bytes t.config.Config.page
-      else bytes
+      (if t.config.Config.flush_wire_page_only then
+         min bytes t.config.Config.page
+       else bytes)
+      + (List.length ctl * t.params.Params.ctl_msg_bytes)
     in
     let do_rpc () =
       let ep = t.io_route rid in
-      let req = Data_server.Write_flush { rid; blocks } in
+      let req = Data_server.Write_flush { rid; blocks; ctl } in
       match
         (match t.rel with
         | None -> Rpc.call ep ~src:t.node ~req_bytes:wire_bytes req
@@ -166,6 +176,7 @@ let create eng params config ~node ~client_id ~io_route =
       audit = None;
       write_obs = None;
       rel = None;
+      ctl_source = None;
     }
   in
   Engine.spawn eng ~daemon:true
@@ -286,6 +297,7 @@ let dirty_view t =
 let set_audit t f = t.audit <- Some f
 let set_write_observer t f = t.write_obs <- Some f
 let set_reliability t rel view = t.rel <- Some (rel, view)
+let set_ctl_source t f = t.ctl_source <- Some f
 let client_id t = t.client_id
 let clean_bytes t = t.clean_total
 let read_cache_hits t = t.r_hits

@@ -27,6 +27,13 @@ val set_reliability :
     client's epoch [view]: a Write_flush then survives a data-server
     outage (retransmitted until acknowledged, deduplicated server-side). *)
 
+val set_ctl_source : t -> (rid:int -> Seqdlm.Types.ctl_msg list) -> unit
+(** Piggybacking (DESIGN.md §13): before each flush RPC the cache asks
+    this callback for the lock-control messages pending for the stripe's
+    server and attaches them to the Write_flush (their bytes are added to
+    the wire size).  Installed by {!Client} when the policy piggybacks
+    releases ([Policy.piggyback_release], SeqDLM). *)
+
 val write :
   t -> rid:int -> range:Ccpfs_util.Interval.t -> sn:int -> op:int -> unit
 (** Insert dirty data written under a lock with sequence number [sn];

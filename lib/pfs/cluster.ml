@@ -42,6 +42,20 @@ let create ?(params = Params.default) ?(config = Config.default)
         in
         { s_node; s_lock; s_data })
   in
+  (* RPC batching (DESIGN.md §13): coalesce plain-path traffic towards
+     each server endpoint.  The fenced retry path is unaffected, so this
+     is safe to turn on regardless of the reliability regime. *)
+  if config.Config.batch_k > 1 then
+    Array.iter
+      (fun s ->
+        let set ep =
+          Rpc.set_batching ep ~max_batch:config.Config.batch_k
+            ~delay:config.Config.batch_delay
+        in
+        set (Lock_server.lock_endpoint s.s_lock);
+        set (Lock_server.ctl_endpoint s.s_lock);
+        set (Data_server.endpoint s.s_data))
+      servers;
   let server_of_rid rid = rid mod n_servers in
   let lock_route rid = servers.(server_of_rid rid).s_lock in
   let io_route rid = Data_server.endpoint servers.(server_of_rid rid).s_data in

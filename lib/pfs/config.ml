@@ -10,7 +10,19 @@ type t = {
   cleanup_period : float;
   extent_log : bool;
   flush_wire_page_only : bool;
+  batch_k : int;
+  batch_delay : float;
 }
+
+(* CCPFS_BATCH=k turns RPC batching on everywhere a Config.default flows
+   (experiments, the fuzzer's config_of) without touching call sites;
+   unset or 0/1 leaves the transport unbatched. *)
+let env_batch_k =
+  match Sys.getenv_opt "CCPFS_BATCH" with
+  | None | Some "" -> 0
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some k when k > 1 -> k
+    | _ -> 0)
 
 let default =
   {
@@ -23,6 +35,8 @@ let default =
     cleanup_period = 0.1;
     extent_log = false;
     flush_wire_page_only = false;
+    batch_k = env_batch_k;
+    batch_delay = 0.;
   }
 
 let with_dirty_limits ~dirty_min ~dirty_max t = { t with dirty_min; dirty_max }
@@ -31,3 +45,8 @@ let with_extent_log extent_log t = { t with extent_log }
 
 let with_flush_wire_page_only flush_wire_page_only t =
   { t with flush_wire_page_only }
+
+let with_batching ?(delay = default.batch_delay) ~k t =
+  if k < 0 || delay < 0. then
+    invalid_arg "Config.with_batching: k and delay must be non-negative";
+  { t with batch_k = k; batch_delay = delay }

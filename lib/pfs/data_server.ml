@@ -5,7 +5,14 @@ open Netsim
 type block = { b_range : Interval.t; b_sn : int; b_tag : Content.tag }
 
 type io_req =
-  | Write_flush of { rid : int; blocks : block list }
+  | Write_flush of {
+      rid : int;
+      blocks : block list;
+      ctl : Seqdlm.Types.ctl_msg list;
+          (* control messages piggybacked on the flush (DESIGN.md §13):
+             acks/downgrades applied before the blocks land, releases
+             after — see [handle] *)
+    }
   | Read of { rid : int; range : Interval.t }
   | Truncate of { rid : int; keep_below : int }
 
@@ -144,11 +151,25 @@ let ds_span t name args f =
 
 let handle t req ~reply =
   match req with
-  | Write_flush { rid; blocks } ->
+  | Write_flush { rid; blocks; ctl } ->
       ds_span t "ds.write_flush"
         [ ("rid", Obs.Json.Int rid);
-          ("blocks", Obs.Json.Int (List.length blocks)) ]
+          ("blocks", Obs.Json.Int (List.length blocks));
+          ("ctl", Obs.Json.Int (List.length ctl)) ]
       @@ fun () ->
+      (* Piggybacked control traffic splits around the blocks (DESIGN.md
+         §13): acks and downgrades land first — they only weaken the
+         sender's claim, and an early-grantable writer should see the
+         downgrade before the flush's disk time elapses — while releases
+         land after the blocks are applied and on the device, so the
+         next holder is granted only once the released lock's data is
+         durable here (the paper's release-on-last-flush-block rule). *)
+      let pre, post =
+        List.partition
+          (function Seqdlm.Types.Release _ -> false | _ -> true)
+          ctl
+      in
+      List.iter (Seqdlm.Lock_server.control t.lock_server) pre;
       let st = stripe t rid in
       t.stats.flush_rpcs <- t.stats.flush_rpcs + 1;
       t.stats.blocks_in <- t.stats.blocks_in + List.length blocks;
@@ -166,6 +187,7 @@ let handle t req ~reply =
       (* Device occupancy for the update set (the discarded parts never
          reach the device). *)
       Node.disk_write t.node written;
+      List.iter (Seqdlm.Lock_server.control t.lock_server) post;
       reply Done
   | Read { rid; range } ->
       ds_span t "ds.read"

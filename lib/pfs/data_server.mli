@@ -28,7 +28,17 @@ type block = {
 }
 
 type io_req =
-  | Write_flush of { rid : int; blocks : block list }
+  | Write_flush of {
+      rid : int;
+      blocks : block list;
+      ctl : Seqdlm.Types.ctl_msg list;
+          (** lock-control messages piggybacked on the flush (acks,
+              downgrades, releases — DESIGN.md §13); the server splits
+              them around the blocks: acks and downgrades are applied to
+              the colocated lock server first, releases only after the
+              blocks are durable, so a release riding with the data it
+              covers is safe *)
+    }
   | Read of { rid : int; range : Ccpfs_util.Interval.t }
   | Truncate of { rid : int; keep_below : int }
 

@@ -20,6 +20,7 @@ let pp_blocked ppf (b : blocked_proc) =
 type proc = {
   pid : int;
   name : string;
+  name_fp : int; (* FNV digest of [name], folded into the event fingerprint *)
   daemon : bool;
   mutable blocked : bool;
   mutable wait_ctx : string option;
@@ -101,7 +102,7 @@ type t = {
       (* all procs currently suspended, by pid: suspend/resume are per-RPC
          operations, so membership updates must be O(1) — a list scan per
          resume was quadratic in blocked clients under contention *)
-  mutable fp : int64;
+  mutable fp : int;
   mutable tie_chooser : (int -> int) option;
   mutable jitter : (unit -> float) option;
   mutable sink : Obs.Trace.sink; (* Trace.null unless a run is traced *)
@@ -112,18 +113,22 @@ type t = {
          same scenario see the same values in the same order *)
 }
 
-(* FNV-1a, 64 bit: the event-stream fingerprint two runs of the same
-   scenario must agree on (the determinism sanitizer's divergence test). *)
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
+(* FNV-1a folded in the native int width: the event-stream fingerprint
+   two runs of the same scenario must agree on (the determinism
+   sanitizer's divergence test).  Fingerprints are only ever compared
+   against fingerprints computed in the same process, never persisted,
+   so the exact modulus does not matter — what matters is that hashing
+   is allocation-free.  The engine hashes every dispatched event; the
+   previous boxed-Int64 FNV allocated ~30 Int64s per event and dominated
+   contended-run profiles. *)
+let fnv_offset = Int64.to_int 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3
+let fnv_byte h b = (h lxor (b land 0xff)) * fnv_prime
 
-let fnv_byte h b =
-  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
-
-let fnv_int64 h x =
+let fnv_int h x =
   let h = ref h in
   for i = 0 to 7 do
-    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+    h := fnv_byte !h (x asr (8 * i))
   done;
   !h
 
@@ -142,7 +147,7 @@ let create () =
 let now t = t.now
 let live_processes t = t.live
 let events_dispatched t = t.dispatched
-let fingerprint t = t.fp
+let fingerprint t = Int64.of_int t.fp
 let set_tie_chooser t f = t.tie_chooser <- Some f
 let clear_tie_chooser t = t.tie_chooser <- None
 let set_event_jitter t f = t.jitter <- Some f
@@ -190,6 +195,13 @@ let schedule t ?(delay = 0.) thunk =
 
 type _ Effect.t +=
   | Suspend : string option * ((unit -> unit) -> unit) -> unit Effect.t
+  | SleepFor : float -> unit Effect.t
+        (* timed suspension with a dedicated wake: the continuation IS the
+           scheduled event.  [Suspend] needs two events per wake (the waker
+           runs in some other process's frame and must defer the
+           continuation); a sleep's wake belongs to no one else, so the
+           deferral would be pure overhead — and sleeps dominate the event
+           stream (three per RPC courier). *)
 
 let mark_blocked t proc ctx =
   proc.blocked <- true;
@@ -204,8 +216,8 @@ let mark_unblocked t proc =
 let spawn t ?(daemon = false) ~name body =
   t.next_pid <- t.next_pid + 1;
   let proc =
-    { pid = t.next_pid; name; daemon; blocked = false; wait_ctx = None;
-      done_ = false }
+    { pid = t.next_pid; name; name_fp = fnv_string fnv_offset name; daemon;
+      blocked = false; wait_ctx = None; done_ = false }
   in
   if not daemon then begin
     t.live <- t.live + 1;
@@ -259,6 +271,14 @@ let spawn t ?(daemon = false) ~name body =
                            [exnc] cleanup above runs. *)
                         mark_unblocked t proc;
                         discontinue k e)
+            | SleepFor d ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    mark_blocked t proc (Some "sleep");
+                    push_event t ~time:(t.now +. d) ~proc:(Some proc)
+                      (fun () ->
+                        mark_unblocked t proc;
+                        continue k ()))
             | _ -> None);
       }
   in
@@ -266,12 +286,9 @@ let spawn t ?(daemon = false) ~name body =
 
 let suspend ?ctx _t register = Effect.perform (Suspend (ctx, register))
 
-let sleep t d =
+let sleep (_ : t) d =
   if d < 0. then invalid_arg "Engine.sleep: negative duration";
-  if d = 0. then ()
-  else
-    suspend ~ctx:"sleep" t (fun resume ->
-        push_event t ~time:(t.now +. d) ~proc:t.current resume)
+  if d = 0. then () else Effect.perform (SleepFor d)
 
 let blocked_report t =
   (* keys are pids, so sorted-key traversal is already b_pid order *)
@@ -330,10 +347,12 @@ let run ?until t =
               t.now <- ev.time;
               t.current <- ev.proc;
               t.dispatched <- t.dispatched + 1;
-              let fp = fnv_int64 t.fp (Int64.bits_of_float ev.time) in
+              let fp =
+                fnv_int t.fp (Int64.to_int (Int64.bits_of_float ev.time))
+              in
               let fp =
                 match ev.proc with
-                | Some p -> fnv_string (fnv_int64 fp (Int64.of_int p.pid)) p.name
+                | Some p -> fnv_int (fnv_int fp p.pid) p.name_fp
                 | None -> fnv_byte fp 0
               in
               t.fp <- fp;

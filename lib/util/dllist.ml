@@ -35,9 +35,16 @@ let remove t n =
   (match n.next with
   | Some s -> s.prev <- n.prev
   | None -> t.last <- n.prev);
+  (* Keep [n.next]: an in-place walk parked on [n] when a re-entrant
+     mutation removed it can still step forward ([succ]).  The stale
+     link retains at most the removed segment, which is garbage as soon
+     as the walk passes it.  [prev] is dropped — nothing walks backwards
+     — so removed nodes never chain a backward retention path. *)
   n.prev <- None;
-  n.next <- None;
   t.len <- t.len - 1
+
+let first_node t = t.first
+let succ n = n.next
 
 let iter f t =
   let rec go = function

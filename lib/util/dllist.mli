@@ -17,10 +17,21 @@ val push_back : 'a t -> 'a -> 'a node
 (** Append at the tail; O(1). *)
 
 val remove : 'a t -> 'a node -> unit
-(** Unlink a node; O(1).  Raises [Invalid_argument] if already removed. *)
+(** Unlink a node; O(1).  Raises [Invalid_argument] if already removed.
+    The removed node keeps its forward link (see {!succ}). *)
 
 val value : 'a node -> 'a
 val active : 'a node -> bool
+
+val first_node : 'a t -> 'a node option
+(** The head node, if any; O(1). *)
+
+val succ : 'a node -> 'a node option
+(** The node that followed [n] when [n] was last linked.  Because
+    {!remove} preserves the forward link, an in-place walk holding [n]
+    survives removal of [n] (by the loop body or re-entrantly): [succ]
+    still leads back into the live chain.  Check {!active} before using
+    a node reached this way. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 (** Head-to-tail; safe against removal of the current node by [f]. *)

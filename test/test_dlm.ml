@@ -875,6 +875,7 @@ let prop_lcm_table2_symmetry =
    driver handles both modules. *)
 type side = {
   s_submit : Types.request -> unit;
+  s_submit_batch : (Types.request * (Types.grant -> unit)) list -> unit;
   s_control : Types.ctl_msg -> unit;
   s_sync : client:int -> rid:int -> unit;
   (* newest first *)
@@ -889,6 +890,8 @@ type side = {
   s_next_sn : int -> int;
   s_granted : int -> (int * int * Mode.t * (int * int) list * int * bool) list;
   s_waiting : int -> (int * Mode.t * Mode.t * (int * int) list) list;
+  (* counter fields of the server's stats record, as a comparable tuple *)
+  s_stats : unit -> int * int * int * int * int * int * int * int * int;
 }
 
 let flat_ranges = List.map (fun (i : Interval.t) -> (i.Interval.lo, i.Interval.hi))
@@ -919,6 +922,7 @@ let indexed_side eng ~policy ~clients =
     ref
       {
         s_submit = (fun _ -> ());
+        s_submit_batch = Lock_server.submit_batch s;
         s_control = Lock_server.control s;
         s_sync = (fun ~client:_ ~rid:_ -> ());
         s_grants = ref [];
@@ -944,6 +948,18 @@ let indexed_side eng ~policy ~clients =
               (fun (w : Lock_server.waiter_view) ->
                 (w.q_client, w.q_mode, w.q_eff_mode, flat_ranges w.q_ranges))
               (Lock_server.waiting_view s rid));
+        s_stats =
+          (fun () ->
+            let st = Lock_server.stats s in
+            ( st.Lock_server.grants,
+              st.early_grants,
+              st.early_revocations,
+              st.revokes_sent,
+              st.upgrades,
+              st.downgrades,
+              st.releases,
+              st.expansions,
+              st.max_queue ));
       }
   in
   Lock_server.set_tracer s (fun _ ev ->
@@ -972,6 +988,14 @@ let reference_side eng ~policy ~clients =
     ref
       {
         s_submit = (fun _ -> ());
+        (* The reference has no vectorized path: a batch is, by
+           definition, N sequential submits. *)
+        s_submit_batch =
+          (fun reqs ->
+            List.iter
+              (fun (req, reply) ->
+                Ref_lock_server.submit s req ~on_grant:reply)
+              reqs);
         s_control = Ref_lock_server.control s;
         s_sync = (fun ~client:_ ~rid:_ -> ());
         s_grants = ref [];
@@ -997,6 +1021,18 @@ let reference_side eng ~policy ~clients =
               (fun (w : Ref_lock_server.waiter_view) ->
                 (w.q_client, w.q_mode, w.q_eff_mode, flat_ranges w.q_ranges))
               (Ref_lock_server.waiting_view s rid));
+        s_stats =
+          (fun () ->
+            let st = Ref_lock_server.stats s in
+            ( st.Ref_lock_server.grants,
+              st.early_grants,
+              st.early_revocations,
+              st.revokes_sent,
+              st.upgrades,
+              st.downgrades,
+              st.releases,
+              st.expansions,
+              st.max_queue ));
       }
   in
   Ref_lock_server.set_tracer s (fun _ ev ->
@@ -1022,6 +1058,7 @@ let sides_agree ~n_rids a b =
   !(a.s_grants) = !(b.s_grants)
   && !(a.s_revokes) = !(b.s_revokes)
   && !(a.s_syncs) = !(b.s_syncs)
+  && a.s_stats () = b.s_stats ()
   && List.for_all
        (fun rid ->
          a.s_q_len rid = b.s_q_len rid
@@ -1037,6 +1074,12 @@ let apply_op side op =
   match op with
   | `Req (client, rid, mode, ranges) ->
       side.s_submit { Types.client; rid; mode; ranges }
+  | `Batch reqs ->
+      side.s_submit_batch
+        (List.map
+           (fun (client, rid, mode, ranges) ->
+             ({ Types.client; rid; mode; ranges }, fun _ -> ()))
+           reqs)
   | `Ack k -> (
       match !(side.s_revokes) with
       | [] -> ()
@@ -1065,102 +1108,144 @@ let model_policies =
       Policy.without_conversion Policy.seqdlm;
     ]
 
+(* Generators and driver shared by the two differential properties. *)
+let model_clients = 3
+let model_rids = 2
+
+let gen_model_ranges =
+  (* mostly singletons; sometimes two disjoint ranges (datatype shape) *)
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          map2
+            (fun lo len -> [ iv lo (lo + len) ])
+            (int_bound 40) (int_range 1 24) );
+        ( 1,
+          map
+            (fun (lo, len, gap, len2) ->
+              [ iv lo (lo + len); iv (lo + len + gap) (lo + len + gap + len2) ])
+            (quad (int_bound 30) (int_range 1 12) (int_range 1 8)
+               (int_range 1 12)) );
+      ])
+
+let gen_model_req =
+  QCheck.Gen.(
+    map2
+      (fun (c, r, m) ranges -> (c, r, m, ranges))
+      (triple
+         (int_bound (model_clients - 1))
+         (int_bound (model_rids - 1))
+         (oneofl all_modes))
+      gen_model_ranges)
+
+let gen_model_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, map (fun req -> `Req req) gen_model_req);
+        (2, map (fun k -> `Ack k) (int_bound 30));
+        (3, map (fun k -> `Release k) (int_bound 30));
+        ( 1,
+          map2
+            (fun k m -> `Downgrade (k, m))
+            (int_bound 30) (oneofl all_modes) );
+        ( 1,
+          map2
+            (fun c r -> `Sync (c, r))
+            (int_bound (model_clients - 1))
+            (int_bound (model_rids - 1)) );
+      ])
+
+let print_model_req (c, r, m, ranges) =
+  Printf.sprintf "c%d r%d %s %s" c r (Mode.to_string m)
+    (String.concat ","
+       (List.map
+          (fun (i : Interval.t) ->
+            Printf.sprintf "[%d,%d)" i.Interval.lo i.Interval.hi)
+          ranges))
+
+let print_model_op = function
+  | `Req req -> "req " ^ print_model_req req
+  | `Batch reqs ->
+      Printf.sprintf "batch{ %s }"
+        (String.concat "; " (List.map print_model_req reqs))
+  | `Ack k -> Printf.sprintf "ack#%d" k
+  | `Release k -> Printf.sprintf "release#%d" k
+  | `Downgrade (k, m) -> Printf.sprintf "downgrade#%d->%s" k (Mode.to_string m)
+  | `Sync (c, r) -> Printf.sprintf "sync c%d r%d" c r
+
+let print_model_script (p, ops) =
+  Printf.sprintf "policy=%s\n%s" (List.nth model_policies p).Policy.name
+    (String.concat "\n" (List.map print_model_op ops))
+
+let run_model_script (p, ops) =
+  let policy = List.nth model_policies p in
+  let eng = Engine.create () in
+  (* Dummy revocation callbacks: couriers are spawned but the engine
+     never runs, so nothing is ever delivered — the test itself plays
+     the clients, answering revokes out of the trace log. *)
+  let clients =
+    List.init model_clients (fun cid ->
+        let node =
+          Netsim.Node.create eng params
+            ~name:(Printf.sprintf "mc%d" cid)
+            ()
+        in
+        ( cid,
+          Netsim.Rpc.endpoint eng params ~node
+            ~name:(Printf.sprintf "mc%d.cb" cid)
+            ~handler:(fun _ ~reply -> reply ()) ))
+  in
+  let idx = indexed_side eng ~policy ~clients in
+  let re = reference_side eng ~policy ~clients in
+  List.for_all
+    (fun op ->
+      apply_op idx op;
+      apply_op re op;
+      sides_agree ~n_rids:model_rids idx re)
+    ops
+
 let prop_indexed_matches_reference =
   let open QCheck in
-  let n_clients = 3 and n_rids = 2 in
-  let gen_ranges =
-    (* mostly singletons; sometimes two disjoint ranges (datatype shape) *)
-    Gen.(
-      frequency
-        [
-          ( 4,
-            map2
-              (fun lo len -> [ iv lo (lo + len) ])
-              (int_bound 40) (int_range 1 24) );
-          ( 1,
-            map
-              (fun (lo, len, gap, len2) ->
-                [ iv lo (lo + len);
-                  iv (lo + len + gap) (lo + len + gap + len2) ])
-              (quad (int_bound 30) (int_range 1 12) (int_range 1 8)
-                 (int_range 1 12)) );
-        ])
-  in
+  Test.make
+    ~name:"indexed lock server == list reference (grants, SNs, queues)"
+    ~count:400
+    (make ~print:print_model_script
+       Gen.(
+         pair
+           (int_bound (List.length model_policies - 1))
+           (list_size (int_range 1 40) gen_model_op)))
+    run_model_script
+
+let prop_batched_matches_sequential =
+  let open QCheck in
+  (* Pins [Lock_server.submit_batch] ≡ N sequential [submit]s: in these
+     scripts request vectors of 1–8 arrive through the batch entry point
+     on the indexed server, while the list reference (which has no
+     vectorized path) plays the same vector as sequential submits.
+     [sides_agree] then demands identical grants, SNs, queue order and
+     stats counters after every step — interleaved with the usual acks,
+     releases, downgrades and syncs so batches also land mid-protocol. *)
   let gen_op =
     Gen.(
       frequency
         [
-          ( 8,
-            map2
-              (fun (c, r, m) ranges -> `Req (c, r, m, ranges))
-              (triple
-                 (int_bound (n_clients - 1))
-                 (int_bound (n_rids - 1))
-                 (oneofl all_modes))
-              gen_ranges );
-          (2, map (fun k -> `Ack k) (int_bound 30));
-          (3, map (fun k -> `Release k) (int_bound 30));
-          ( 1,
-            map2
-              (fun k m -> `Downgrade (k, m))
-              (int_bound 30) (oneofl all_modes) );
-          ( 1,
-            map2
-              (fun c r -> `Sync (c, r))
-              (int_bound (n_clients - 1))
-              (int_bound (n_rids - 1)) );
+          (4, gen_model_op);
+          ( 4,
+            map
+              (fun reqs -> `Batch reqs)
+              (list_size (int_range 1 8) gen_model_req) );
         ])
   in
-  let print_op = function
-    | `Req (c, r, m, ranges) ->
-        Printf.sprintf "req c%d r%d %s %s" c r (Mode.to_string m)
-          (String.concat ","
-             (List.map
-                (fun (i : Interval.t) ->
-                  Printf.sprintf "[%d,%d)" i.Interval.lo i.Interval.hi)
-                ranges))
-    | `Ack k -> Printf.sprintf "ack#%d" k
-    | `Release k -> Printf.sprintf "release#%d" k
-    | `Downgrade (k, m) -> Printf.sprintf "downgrade#%d->%s" k (Mode.to_string m)
-    | `Sync (c, r) -> Printf.sprintf "sync c%d r%d" c r
-  in
-  Test.make
-    ~name:"indexed lock server == list reference (grants, SNs, queues)"
-    ~count:400
-    (make
-       ~print:(fun (p, ops) ->
-         Printf.sprintf "policy=%s\n%s" (List.nth model_policies p).Policy.name
-           (String.concat "\n" (List.map print_op ops)))
+  Test.make ~name:"submit_batch == N sequential submits (vs reference)"
+    ~count:300
+    (make ~print:print_model_script
        Gen.(
          pair
            (int_bound (List.length model_policies - 1))
-           (list_size (int_range 1 40) gen_op)))
-    (fun (p, ops) ->
-      let policy = List.nth model_policies p in
-      let eng = Engine.create () in
-      (* Dummy revocation callbacks: couriers are spawned but the engine
-         never runs, so nothing is ever delivered — the test itself plays
-         the clients, answering revokes out of the trace log. *)
-      let clients =
-        List.init n_clients (fun cid ->
-            let node =
-              Netsim.Node.create eng params
-                ~name:(Printf.sprintf "mc%d" cid)
-                ()
-            in
-            ( cid,
-              Netsim.Rpc.endpoint eng params ~node
-                ~name:(Printf.sprintf "mc%d.cb" cid)
-                ~handler:(fun _ ~reply -> reply ()) ))
-      in
-      let idx = indexed_side eng ~policy ~clients in
-      let re = reference_side eng ~policy ~clients in
-      List.for_all
-        (fun op ->
-          apply_op idx op;
-          apply_op re op;
-          sides_agree ~n_rids idx re)
-        ops)
+           (list_size (int_range 1 30) gen_op)))
+    run_model_script
 
 let suite =
   let q = QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ()) in
@@ -1230,5 +1315,6 @@ let suite =
         q prop_random_protocol;
         q prop_grant_contract;
         q prop_indexed_matches_reference;
+        q prop_batched_matches_sequential;
       ] );
   ]

@@ -206,6 +206,59 @@ let test_fenced_at_most_once () =
       Alcotest.(check int) "reset cleared at-most-once state" 2 !hits);
   Engine.run eng
 
+(* ------------------------------------------------------------------ *)
+(* Batching (DESIGN.md §13)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_batching_size_flush_preserves_order () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let client = Node.create eng params ~name:"c" () in
+  let seen = ref [] in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"seq"
+      ~handler:(fun x ~reply ->
+        seen := x :: !seen;
+        reply (x * 10))
+  in
+  Rpc.set_batching ep ~max_batch:3 ~delay:1.0;
+  let replies = ref [] in
+  Engine.spawn eng ~name:"caller" (fun () ->
+      (* Three same-instant calls fill the batch: the size trigger fires
+         long before the (deliberately huge) delay timer could. *)
+      let ivs = List.map (fun x -> Rpc.call_async ep ~src:client x) [ 1; 2; 3 ] in
+      replies := List.map (fun iv -> Ivar.read iv) ivs;
+      (* One amortized service op for the whole batch: rtt/2 in, one
+         1/OPS charge, rtt/2 back — not 3/OPS. *)
+      feq "batch paid one service op" 0.011 (Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check (list int)) "served strictly in enqueue order" [ 1; 2; 3 ]
+    (List.rev !seen);
+  Alcotest.(check (list int)) "each call got its own reply" [ 10; 20; 30 ]
+    !replies;
+  Alcotest.(check int) "all messages counted" 3 (Rpc.calls ep)
+
+let test_batching_timer_flush () =
+  let eng = Engine.create () in
+  let server = Node.create eng params ~name:"s" () in
+  let client = Node.create eng params ~name:"c" () in
+  let served_at = ref (-1.) in
+  let ep =
+    Rpc.endpoint eng params ~node:server ~name:"tick"
+      ~handler:(fun () ~reply ->
+        served_at := Engine.now eng;
+        reply ())
+  in
+  Rpc.set_batching ep ~max_batch:8 ~delay:0.004;
+  Engine.spawn eng ~name:"sender" (fun () ->
+      (* A blocking call (not a notify): the suspended caller keeps the
+         run alive until the delay timer fires. *)
+      Rpc.call ep ~src:client ());
+  Engine.run eng;
+  (* A lone message below max_batch waits out the delay timer, then pays
+     the normal journey: delay + rtt/2 + 1/OPS. *)
+  feq "timer flushed the partial batch" 0.0145 !served_at
+
 let test_reliable_rides_out_an_outage () =
   let eng, _, client, ep, hits = fenced_world () in
   let rel =
@@ -247,6 +300,61 @@ let test_reliable_survives_loss_and_dup () =
   Alcotest.(check int) "each logical call executed exactly once" n !hits;
   Alcotest.(check bool) "losses forced retries" true (Rpc.View.retries view > 0)
 
+let test_dedup_retention_bound () =
+  let eng, _, client, ep, hits = fenced_world () in
+  Rpc.set_dedup_cap ep 4;
+  Engine.spawn eng ~name:"caller" (fun () ->
+      for id = 1 to 10 do
+        match Rpc.call_fenced ep ~src:client ~epoch:0 ~req_id:id id with
+        | Rpc.Reply _ -> ()
+        | _ -> Alcotest.fail "fresh request must be served"
+      done;
+      Alcotest.(check int) "ten distinct requests executed" 10 !hits;
+      (* Ids inside the retention window (the 4 newest) are still
+         deduplicated after pruning... *)
+      (match Rpc.call_fenced ep ~src:client ~epoch:0 ~req_id:7 7 with
+      | Rpc.Reply (v, _) -> Alcotest.(check int) "stored reply replayed" 14 v
+      | _ -> Alcotest.fail "replay must get the stored reply");
+      (match Rpc.call_fenced ep ~src:client ~epoch:0 ~req_id:10 10 with
+      | Rpc.Reply (v, _) -> Alcotest.(check int) "stored reply replayed" 20 v
+      | _ -> Alcotest.fail "replay must get the stored reply");
+      Alcotest.(check int) "no double execution within the window" 10 !hits;
+      (* ...while an id older than the window really was pruned: it
+         re-executes, which is what bounds the table. *)
+      (match Rpc.call_fenced ep ~src:client ~epoch:0 ~req_id:1 1 with
+      | Rpc.Reply _ -> ()
+      | _ -> Alcotest.fail "pruned id must be served afresh");
+      Alcotest.(check int) "oldest entries were evicted" 11 !hits);
+  Engine.run eng
+
+let test_backoff_plateaus_under_long_outage () =
+  let eng, _, client, ep, hits = fenced_world () in
+  let rel =
+    (* rel_timeout must exceed the served round trip (rtt + 1/OPS = 11 ms)
+       or the call livelocks: the reply would always arrive just after the
+       deadline. *)
+    { Rpc.rel_timeout = 0.02; rel_base_backoff = 0.001; rel_max_backoff = 0.008 }
+  in
+  let view = Rpc.View.create () in
+  Rpc.set_down ep true;
+  Engine.spawn eng ~name:"healer" (fun () ->
+      Engine.sleep eng 10.;
+      Rpc.set_down ep false);
+  Engine.spawn eng ~name:"caller" (fun () ->
+      let v = Rpc.call_reliable ep ~src:client ~reliability:rel ~view 21 in
+      Alcotest.(check int) "answered after the outage" 42 v);
+  Engine.run eng;
+  Alcotest.(check int) "handler ran exactly once" 1 !hits;
+  (* With the accumulator clamped at rel_max_backoff, each attempt costs
+     at most timeout + 1.5 * max_backoff = 32 ms, so a 10 s outage takes
+     >300 attempts.  An unclamped accumulator doubles past the outage
+     length by attempt ~15 and would retry only a couple dozen times. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "retry cadence plateaued (%d retries)"
+       (Rpc.View.retries view))
+    true
+    (Rpc.View.retries view > 300)
+
 let suite =
   [
     ( "net.rpc",
@@ -262,11 +370,22 @@ let suite =
         Alcotest.test_case "blocking handler on disk" `Quick
           test_blocking_handler_uses_disk;
       ] );
+    ( "net.batch",
+      [
+        Alcotest.test_case "size flush preserves order + replies" `Quick
+          test_batching_size_flush_preserves_order;
+        Alcotest.test_case "timer flushes a partial batch" `Quick
+          test_batching_timer_flush;
+      ] );
     ( "net.fenced",
       [
         Alcotest.test_case "epoch fence + timeout" `Quick
           test_fenced_timeout_and_stale;
         Alcotest.test_case "at-most-once dedup" `Quick test_fenced_at_most_once;
+        Alcotest.test_case "dedup retention is bounded" `Quick
+          test_dedup_retention_bound;
+        Alcotest.test_case "retry backoff plateaus in a long outage" `Quick
+          test_backoff_plateaus_under_long_outage;
         Alcotest.test_case "reliable call rides out an outage" `Quick
           test_reliable_rides_out_an_outage;
         Alcotest.test_case "reliable call survives loss + duplication" `Quick

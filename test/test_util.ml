@@ -621,6 +621,22 @@ let test_stats_percentile_edges () =
   check "p<0 clamps" s4 (-5.) 1.;
   check "p>100 clamps" s4 200. 4.
 
+(* Regression pin for the BENCH_scale percentile degeneracy: a stream
+   with genuine spread must yield p50 strictly below p99.  The shape
+   mirrors the scale benchmark after the think-jitter fix — a tight
+   cluster of steady-state latencies plus a jittered tail — where the
+   pre-fix lockstep workload produced p50 == p99 bit-for-bit. *)
+let test_stats_spread_p50_lt_p99 () =
+  let s = Stats.create () in
+  let rng = Det_random.create ~seed:0x1a7 in
+  for _ = 1 to 4096 do
+    Stats.add s (25e-3 +. Det_random.float rng 50e-6)
+  done;
+  let p50 = Stats.percentile s 50. and p99 = Stats.percentile s 99. in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %.9f < p99 %.9f" p50 p99)
+    true (p50 < p99)
+
 (* Nearest-rank definition checked directly against its spec: the
    result is the smallest sample whose 1-based rank i has i/n >= p/100. *)
 let prop_stats_percentile_nearest_rank =
@@ -796,6 +812,8 @@ let suite =
         Alcotest.test_case "stats empty" `Quick test_stats_empty;
         Alcotest.test_case "percentile edges" `Quick
           test_stats_percentile_edges;
+        Alcotest.test_case "spread stream has p50 < p99" `Quick
+          test_stats_spread_p50_lt_p99;
         q prop_stats_percentile_nearest_rank;
         Alcotest.test_case "units" `Quick test_units;
         Alcotest.test_case "table render" `Quick test_table_render;
