@@ -171,6 +171,32 @@ let bench_interval_index_query =
          done;
          Sys.opaque_identity !acc))
 
+(* The open-loop schedule generator: drawing arrival gaps is on the
+   load driver's setup path (one draw per injected request, the whole
+   schedule materialized before the sweep point starts), so a slow MMPP
+   hunt loop would tax every rate point.  Constant is the floor (pure
+   arithmetic), Poisson adds one log per gap, MMPP adds the modulated
+   dwell walk. *)
+let bench_arrival_gaps =
+  let procs =
+    [
+      ("constant", Load.Arrivals.Constant 1000.);
+      ("poisson", Load.Arrivals.Poisson 1000.);
+      ("mmpp", Load.Arrivals.bursty ~rate:1000.);
+    ]
+  in
+  List.map
+    (fun (tag, proc) ->
+      Test.make ~name:(Printf.sprintf "arrivals.next_gap x1k (%s)" tag)
+        (Staged.stage (fun () ->
+             let a = Load.Arrivals.create ~seed:42 proc in
+             let acc = ref 0. in
+             for _ = 1 to 1000 do
+               acc := !acc +. Load.Arrivals.next_gap a
+             done;
+             Sys.opaque_identity !acc)))
+    procs
+
 (* The tentpole hot path, without the simulated network: every client
    PW-locks the whole file, so each grant goes through one full queue
    pass with the rest of the fleet blocked behind a saturating waiter. *)
@@ -227,6 +253,7 @@ let micro_tests =
       bench_layout_chunks;
       bench_dllist_churn;
       bench_interval_index_query;
+      Test.make_grouped ~name:"arrivals" bench_arrival_gaps;
       bench_lock_server_contended_pass;
       bench_engine_events;
       bench_lock_handoff;

@@ -112,6 +112,16 @@ let all =
       run = Exp_failover.run;
     };
     {
+      id = "load";
+      title = "Load: open-loop offered-rate sweep to the latency knee";
+      paper_claim =
+        "closed-loop clients self-throttle at saturation; only open-loop \
+         arrivals expose the offered-load vs p99 knee the paper's \
+         sustained-traffic claims rest on";
+      default_scale = 1.0;
+      run = Exp_load.run;
+    };
+    {
       id = "safety";
       title = "§V-B1: data safety";
       paper_claim = "ior-hard readback and overlapping-write checksums always correct";

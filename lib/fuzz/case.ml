@@ -10,6 +10,16 @@ type phase = {
   crash_mid : (int * float) option;
 }
 
+type churn = { ch_at : float; ch_client : int; ch_up : bool }
+
+type load = {
+  l_rate : float;
+  l_process : int; (* 0 constant, 1 poisson, 2 mmpp *)
+  l_requests : int;
+  l_cap : int;
+  l_churn : churn list;
+}
+
 type sim = {
   policy_idx : int;
   n_servers : int;
@@ -28,6 +38,11 @@ type sim = {
          cases drawing batch > 1 exercise batch-boundary schedules —
          flush-on-size, flush-on-timer and crashes between them. *)
   phases : phase list;
+  load : load option;
+      (* Optional open-loop tail segment (lib/load): after the phases
+         go quiescent, an arrival-scheduled stream of page writes with
+         bounded backlog and client churn runs against the same file,
+         still under the shadow oracle and the determinism double-run. *)
 }
 
 type analytic = { a_clients : int; a_bytes : int }
@@ -92,7 +107,18 @@ let summary t =
         ((if s.loss > 0. || s.dup > 0. then
             Printf.sprintf ", loss %.3f dup %.3f" s.loss s.dup
           else "")
-        ^ if s.batch > 1 then Printf.sprintf ", batch %d" s.batch else "")
+        ^ (if s.batch > 1 then Printf.sprintf ", batch %d" s.batch else "")
+        ^
+        match s.load with
+        | Some l ->
+            Printf.sprintf ", load(%s %.3g/s x%d cap %d churn %d)"
+              (match l.l_process mod 3 with
+              | 0 -> "const"
+              | 1 -> "poisson"
+              | _ -> "mmpp")
+              l.l_rate l.l_requests l.l_cap
+              (List.length l.l_churn)
+        | None -> "")
 
 let pp_op ppf = function
   | Write { block; blocks } ->
@@ -111,6 +137,19 @@ let pp ppf t =
          %gs, loss %g, dup %g, batch %d@,"
         s.dirty_min_blocks s.dirty_max_blocks s.extent_cache_limit s.tie_random
         s.jitter s.loss s.dup s.batch;
+      (match s.load with
+      | Some l ->
+          Format.fprintf ppf
+            "  load: process %d, %g req/s, %d request(s), cap %d@," l.l_process
+            l.l_rate l.l_requests l.l_cap;
+          List.iter
+            (fun ch ->
+              Format.fprintf ppf "    churn: client %d %s at +%gs@,"
+                ch.ch_client
+                (if ch.ch_up then "up" else "down")
+                ch.ch_at)
+            l.l_churn
+      | None -> ());
       List.iteri
         (fun pi (p : phase) ->
           Format.fprintf ppf "  phase %d%s%s:@," pi
@@ -194,6 +233,28 @@ let to_json t =
             ("loss", Float s.loss);
             ("dup", Float s.dup);
             ("batch", Int s.batch);
+            ( "load",
+              match s.load with
+              | None -> Null
+              | Some l ->
+                  Obj
+                    [
+                      ("rate", Float l.l_rate);
+                      ("process", Int l.l_process);
+                      ("requests", Int l.l_requests);
+                      ("cap", Int l.l_cap);
+                      ( "churn",
+                        List
+                          (List.map
+                             (fun ch ->
+                               Obj
+                                 [
+                                   ("at", Float ch.ch_at);
+                                   ("client", Int ch.ch_client);
+                                   ("up", Bool ch.ch_up);
+                                 ])
+                             l.l_churn) );
+                    ] );
             ( "phases",
               List
                 (List.map
@@ -270,6 +331,24 @@ let to_ocaml_test t =
         (ml_float s.jitter);
       add "        loss = %s; dup = %s; batch = %d;\n" (ml_float s.loss)
         (ml_float s.dup) s.batch;
+      (match s.load with
+      | None -> add "        load = None;\n"
+      | Some l ->
+          add
+            "        load =\n\
+            \          Some\n\
+            \            { l_rate = %s; l_process = %d; l_requests = %d;\n\
+            \              l_cap = %d;\n\
+            \              l_churn =\n\
+            \                [ %s ] };\n"
+            (ml_float l.l_rate) l.l_process l.l_requests l.l_cap
+            (String.concat ";\n                  "
+               (List.map
+                  (fun ch ->
+                    Printf.sprintf
+                      "{ ch_at = %s; ch_client = %d; ch_up = %b }"
+                      (ml_float ch.ch_at) ch.ch_client ch.ch_up)
+                  l.l_churn)));
       add "        phases =\n          [\n";
       List.iter
         (fun (p : phase) ->

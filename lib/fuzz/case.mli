@@ -24,6 +24,29 @@ type phase = {
           detection and online recovery ([lib/ha]) bring it back *)
 }
 
+type churn = {
+  ch_at : float;  (** seconds after the load segment starts *)
+  ch_client : int;  (** taken mod the case's client count at run time *)
+  ch_up : bool;
+}
+(** A client-rotation event inside a load segment (see
+    [Load.Driver.churn_event]): a leaving client drains its queue but
+    stops receiving new arrivals. *)
+
+type load = {
+  l_rate : float;  (** mean offered rate, requests/second *)
+  l_process : int;  (** mod 3: 0 constant, 1 Poisson, 2 MMPP *)
+  l_requests : int;  (** arrivals to inject *)
+  l_cap : int;  (** in-flight cap before shedding *)
+  l_churn : churn list;
+}
+(** An open-loop load segment, run after the case's phases go quiescent:
+    page writes to the same shared file at scheduled arrival times
+    through [Load.Driver], still under the shadow oracle and the
+    determinism double-run.  Exercises arrival-time event scheduling,
+    backlog shedding and churn routing inside randomized cluster
+    configurations. *)
+
 (** A randomized cluster run: every client executes its per-phase op
     list against one shared file; phases run to quiescence in turn, with
     optional lock-server crash+recovery between them. *)
@@ -43,6 +66,9 @@ type sim = {
   batch : int;
       (** RPC batch factor for the plain transport (0/1 = unbatched) *)
   phases : phase list;
+  load : load option;
+      (** optional open-loop tail segment; drawn after every other field
+          so pre-existing seeds keep their shapes *)
 }
 
 (** A no-contention-structure validation case: N fully-conflicting PW

@@ -196,6 +196,63 @@ let sim_pass ?inject (case : Case.t) (s : Case.sim) =
           assert_sn_floor cl srv
       | None -> ())
     s.phases;
+  (* The optional open-loop tail: a scheduled-arrival stream of page
+     writes through Load.Driver, against the same shared file so the
+     shadow oracle keeps covering it.  The conservation invariant —
+     every scheduled arrival either completes or is counted shed — is
+     checked as a fuzz invariant in its own right. *)
+  (match s.load with
+  | None -> ()
+  | Some (l : Case.load) ->
+      let proc =
+        match l.l_process mod 3 with
+        | 0 -> Load.Arrivals.Constant l.l_rate
+        | 1 -> Load.Arrivals.Poisson l.l_rate
+        | _ -> Load.Arrivals.bursty ~rate:l.l_rate
+      in
+      let spec =
+        Load.Driver.
+          {
+            process = proc;
+            seed = case.seed lxor 0x10ad;
+            requests = l.l_requests;
+            max_in_flight = Stdlib.max 1 l.l_cap;
+            churn =
+              List.map
+                (fun (ch : Case.churn) ->
+                  Load.Driver.
+                    {
+                      ch_at = ch.Case.ch_at;
+                      ch_client = ch.Case.ch_client mod s.n_clients;
+                      ch_up = ch.Case.ch_up;
+                    })
+                l.l_churn;
+            start_at = Cluster.now cl;
+          }
+      in
+      let h =
+        Load.Driver.launch cl spec
+          ~prepare:(fun c ->
+            let f = Client.open_file c ~create:true ~layout "/fuzz" in
+            if !file = None then file := Some f;
+            (c, f))
+          ~request:(fun (c, f) k ->
+            let block = k mod Gen.max_block in
+            Client.write c f ~off:(block * page) ~len:page;
+            page)
+      in
+      Check.Sanitize.run_cluster cl;
+      let r = Load.Driver.result h in
+      if
+        r.Load.Driver.r_completed + r.Load.Driver.r_shed
+        <> r.Load.Driver.r_arrivals
+        || r.Load.Driver.r_arrivals <> l.l_requests
+      then
+        Check.Violation.fail ~inv:"load-conservation"
+          "open-loop segment lost arrivals: %d completed + %d shed vs %d \
+           arrivals (%d scheduled)"
+          r.Load.Driver.r_completed r.Load.Driver.r_shed
+          r.Load.Driver.r_arrivals l.l_requests);
   (match !file with
   | Some f ->
       Cluster.fsync_all cl;

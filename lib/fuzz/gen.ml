@@ -147,6 +147,31 @@ let gen_sim ?(faults = false) seed rng =
   let batch =
     if Det_random.int rng 3 = 0 then 2 + Det_random.int rng 7 else 0
   in
+  (* Load draw is at the very tail (after even the batch draw) so every
+     seed that existed before the open-loop generator keeps its shape.
+     A quarter of cases append a short open-loop segment; the rate spans
+     roughly 0.02x-0.15x of the per-request service rate 1/rtt, i.e.
+     from comfortable to clearly saturating for small clusters. *)
+  let load =
+    if Det_random.int rng 4 = 0 then begin
+      let l_process = Det_random.int rng 3 in
+      let l_rate = (0.5 +. Det_random.float rng 4.) /. (30. *. params.rtt) in
+      let l_requests = 4 + Det_random.int rng 21 in
+      let l_cap = 1 + Det_random.int rng (2 * n_clients) in
+      let span = float_of_int l_requests /. l_rate in
+      let n_churn = Det_random.int rng 3 in
+      let churn = ref [] in
+      for _ = 1 to n_churn do
+        let at = Det_random.float rng span in
+        let cli = Det_random.int rng n_clients in
+        let up = Det_random.bool rng in
+        churn := { Case.ch_at = at; ch_client = cli; ch_up = up } :: !churn
+      done;
+      Some
+        { Case.l_rate; l_process; l_requests; l_cap; l_churn = List.rev !churn }
+    end
+    else None
+  in
   {
     Case.seed;
     params;
@@ -167,6 +192,7 @@ let gen_sim ?(faults = false) seed rng =
           dup;
           batch;
           phases;
+          load;
         };
   }
 

@@ -38,6 +38,16 @@ let candidates (c : Case.t) =
   | Case.Sim s ->
       let acc = ref [] in
       let add s' = acc := with_sim c s' :: !acc in
+      (* Drop the open-loop load segment first: the newest layer of the
+         case, and the phases alone usually reproduce old failures. *)
+      (match s.load with
+      | Some l ->
+          add { s with load = None };
+          if List.length l.l_churn > 0 then
+            add { s with load = Some { l with l_churn = [] } };
+          if l.l_requests > 4 then
+            add { s with load = Some { l with l_requests = l.l_requests / 2 } }
+      | None -> ());
       (* Drop whole phases. *)
       if List.length s.phases > 1 then
         List.iteri (fun pi _ -> add (drop_phase s pi)) s.phases;

@@ -1,0 +1,172 @@
+open Ccpfs_util
+open Ccpfs
+
+type churn_event = { ch_at : float; ch_client : int; ch_up : bool }
+
+type spec = {
+  process : Arrivals.process;
+  seed : int;
+  requests : int;
+  max_in_flight : int;
+  churn : churn_event list;
+  start_at : float;
+}
+
+type result = {
+  r_offered_rate : float;
+  r_arrivals : int;
+  r_completed : int;
+  r_shed : int;
+  r_window_s : float;
+  r_achieved_rate : float;
+  r_goodput_Bps : float;
+  r_sojourn : Stats.t;
+  r_per_client : int array;
+}
+
+type handle = {
+  h_spec : spec;
+  h_completed : int ref;
+  h_shed : int ref;
+  h_bytes : int ref;
+  h_last_completion : float ref;
+  h_sojourn : Stats.t;
+  h_per_client : int array;
+}
+
+let validate cl spec =
+  if spec.requests < 0 then invalid_arg "Load.Driver: requests < 0";
+  if spec.max_in_flight < 1 then invalid_arg "Load.Driver: max_in_flight < 1";
+  if spec.start_at < Cluster.now cl then
+    invalid_arg "Load.Driver: start_at in the past";
+  let n = Cluster.n_clients cl in
+  List.iter
+    (fun c ->
+      if c.ch_client < 0 || c.ch_client >= n || c.ch_at < 0. then
+        invalid_arg "Load.Driver: churn event out of range")
+    spec.churn
+
+let launch cl spec ~prepare ~request =
+  validate cl spec;
+  let eng = Cluster.engine cl in
+  let n = Cluster.n_clients cl in
+  let h =
+    {
+      h_spec = spec;
+      h_completed = ref 0;
+      h_shed = ref 0;
+      h_bytes = ref 0;
+      h_last_completion = ref spec.start_at;
+      h_sojourn = Stats.create ();
+      h_per_client = Array.make n 0;
+    }
+  in
+  let sojourn_hist = Obs.Metrics.histogram (Dessim.Engine.metrics eng) "load.sojourn" in
+  let shed_ctr = Obs.Metrics.counter (Dessim.Engine.metrics eng) "load.shed" in
+  (* The client churn table: Ha.Membership's Up/Down states, reused for
+     clients (the lease machinery is idle — a huge lease, no
+     heartbeats; only the Up/Down bit routes arrivals). *)
+  let members =
+    Ha.Membership.create eng ~lease:1e12
+      ~names:(Array.init n (Printf.sprintf "load-c%d"))
+  in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let conds = Array.init n (fun _ -> Dessim.Condition.create eng) in
+  let injection_done = ref (spec.requests = 0) in
+  let arrivals_seen = ref 0 in
+  let in_flight = ref 0 in
+  let rr = ref 0 in
+  let finish_injection () =
+    injection_done := true;
+    Array.iter Dessim.Condition.broadcast conds
+  in
+  (* Round-robin over Up clients; None when every client has left. *)
+  let pick_client () =
+    let found = ref None in
+    for step = 0 to n - 1 do
+      if !found = None then begin
+        let i = (!rr + step) mod n in
+        if Ha.Membership.state members i = Ha.Membership.Up then
+          found := Some i
+      end
+    done;
+    (match !found with Some i -> rr := (i + 1) mod n | None -> ());
+    !found
+  in
+  let arrive k sched =
+    incr arrivals_seen;
+    (if !in_flight >= spec.max_in_flight then begin
+       incr h.h_shed;
+       Obs.Metrics.incr shed_ctr
+     end
+     else
+       match pick_client () with
+       | None ->
+           incr h.h_shed;
+           Obs.Metrics.incr shed_ctr
+       | Some i ->
+           incr in_flight;
+           h.h_per_client.(i) <- h.h_per_client.(i) + 1;
+           Queue.push (k, sched) queues.(i);
+           Dessim.Condition.signal conds.(i));
+    if !arrivals_seen = spec.requests then finish_injection ()
+  in
+  (* The whole arrival schedule goes in up front, at absolute times:
+     this is what makes the loop open — arrival k+1 fires on schedule
+     whether or not arrival k has even been dequeued yet. *)
+  let times = Arrivals.times ~seed:spec.seed spec.process ~n:spec.requests in
+  Array.iteri
+    (fun k dt ->
+      let sched = spec.start_at +. dt in
+      Dessim.Engine.at eng ~time:sched (fun () -> arrive k sched))
+    times;
+  List.iter
+    (fun c ->
+      Dessim.Engine.at eng ~time:(spec.start_at +. c.ch_at) (fun () ->
+          Ha.Membership.set_state members c.ch_client
+            (if c.ch_up then Ha.Membership.Up else Ha.Membership.Down)))
+    spec.churn;
+  for i = 0 to n - 1 do
+    Cluster.spawn_client cl i ~name:(Printf.sprintf "load-w%d" i) (fun c ->
+        let ctx = prepare c in
+        let q = queues.(i) and cond = conds.(i) in
+        let running = ref true in
+        while !running do
+          Dessim.Condition.wait_until ~ctx:"load arrival" cond (fun () ->
+              (not (Queue.is_empty q)) || !injection_done);
+          if not (Queue.is_empty q) then begin
+            let k, sched = Queue.pop q in
+            let bytes = request ctx k in
+            let now = Cluster.now cl in
+            decr in_flight;
+            incr h.h_completed;
+            h.h_bytes := !(h.h_bytes) + bytes;
+            if now > !(h.h_last_completion) then h.h_last_completion := now;
+            let s = now -. sched in
+            Stats.add h.h_sojourn s;
+            Obs.Metrics.observe sojourn_hist s
+          end
+          else if !injection_done then running := false
+        done)
+  done;
+  h
+
+let result h =
+  let spec = h.h_spec in
+  let rate = Arrivals.mean_rate spec.process in
+  let span = float_of_int spec.requests /. rate in
+  let window =
+    Float.max span (!(h.h_last_completion) -. spec.start_at)
+    |> Float.max 1e-12
+  in
+  {
+    r_offered_rate = rate;
+    r_arrivals = !(h.h_completed) + !(h.h_shed);
+    r_completed = !(h.h_completed);
+    r_shed = !(h.h_shed);
+    r_window_s = window;
+    r_achieved_rate = float_of_int !(h.h_completed) /. window;
+    r_goodput_Bps = float_of_int !(h.h_bytes) /. window;
+    r_sojourn = h.h_sojourn;
+    r_per_client = Array.copy h.h_per_client;
+  }

@@ -1,0 +1,77 @@
+(** Open-loop load driver: inject requests at pre-scheduled arrival
+    times, regardless of completions.
+
+    Closed-loop clients (the experiment harness's workload loops) issue
+    the next request only after the previous one returns, so the offered
+    load collapses exactly when the system slows down — latency under
+    overload is never observed.  This driver is the open-loop
+    counterpart: an {!Arrivals} stream is materialised into absolute
+    arrival timestamps and installed up front via [Dessim.Engine.at], so
+    request [k] arrives at its scheduled time even if requests
+    [0..k-1] are still in flight.  Each arrival is dispatched to the
+    next [Up] client (round-robin over an [Ha.Membership] table, so
+    clients can churn — leave and rejoin — mid-run), queues behind that
+    client's worker process, and its {e sojourn} (completion time minus
+    {e scheduled} arrival time, queueing included) is recorded.
+
+    True open loops need a safety valve: past saturation the backlog
+    would otherwise grow without bound for as long as the injection
+    lasts.  A bounded in-flight cap sheds arrivals beyond
+    [max_in_flight] outstanding requests — shed arrivals are counted,
+    never silently dropped, and [completed + shed = arrivals] always
+    holds at the end of a run. *)
+
+open Ccpfs_util
+open Ccpfs
+
+type churn_event = {
+  ch_at : float;  (** seconds after the injection origin *)
+  ch_client : int;  (** client index, [0 .. n_clients-1] *)
+  ch_up : bool;  (** [true] rejoin, [false] leave *)
+}
+(** A client leaving stops receiving new arrivals but drains what is
+    already queued (a graceful leave: no crash, no lost work).  Events
+    scheduled after the last completion of a run may never fire — the
+    engine stops once all workers exit. *)
+
+type spec = {
+  process : Arrivals.process;
+  seed : int;  (** arrival-stream seed; same seed = same schedule *)
+  requests : int;  (** arrivals to inject (>= 0) *)
+  max_in_flight : int;  (** shed arrivals beyond this backlog (>= 1) *)
+  churn : churn_event list;
+  start_at : float;  (** absolute engine time of the injection origin *)
+}
+
+type result = {
+  r_offered_rate : float;  (** [Arrivals.mean_rate spec.process] *)
+  r_arrivals : int;
+  r_completed : int;
+  r_shed : int;
+  r_window_s : float;
+      (** measurement window: [max (requests/rate) (last_completion -
+          start)] — at least the scheduled injection span, stretched by
+          any overhang, so achieved <= offered by construction *)
+  r_achieved_rate : float;  (** completed / window *)
+  r_goodput_Bps : float;  (** completed request bytes / window *)
+  r_sojourn : Stats.t;  (** per-request sojourn, seconds *)
+  r_per_client : int array;  (** arrivals assigned to each client *)
+}
+
+type handle
+
+val launch :
+  Cluster.t -> spec -> prepare:(Client.t -> 'ctx) ->
+  request:('ctx -> int -> int) -> handle
+(** Install the arrival schedule and spawn one worker process per
+    cluster client (regular processes: the engine run waits for them).
+    [prepare] runs once per worker before it starts serving (open files,
+    warm caches); [request ctx k] performs arrival [k]'s work and
+    returns the bytes it moved (for goodput).  The caller then drives
+    the engine ([Check.Sanitize.run_cluster] / [Dessim.Engine.run]) and
+    reads {!result}.
+    @raise Invalid_argument on a negative [requests], [max_in_flight <
+    1], an out-of-range churn client, or [start_at] in the past. *)
+
+val result : handle -> result
+(** Totals so far; call after the engine run for the final figures. *)

@@ -1,0 +1,69 @@
+open Ccpfs_util
+
+type point = {
+  p_rate : float;
+  p_result : Driver.result;
+  p_p50 : float;
+  p_p99 : float;
+  p_p999 : float;
+  p_violates : bool;
+  p_knee : bool;
+}
+
+type config = {
+  rates : float list;
+  slo_s : float;
+  min_achieved_frac : float;
+  bisect_steps : int;
+}
+
+let eval config ~run_rate rate =
+  let r : Driver.result = run_rate rate in
+  let pct p =
+    if Stats.count r.Driver.r_sojourn = 0 then 0.
+    else Stats.percentile r.Driver.r_sojourn p
+  in
+  let p50 = pct 50. and p99 = pct 99. and p999 = pct 99.9 in
+  let violates =
+    p99 > config.slo_s
+    || r.Driver.r_achieved_rate < config.min_achieved_frac *. rate
+  in
+  { p_rate = rate; p_result = r; p_p50 = p50; p_p99 = p99; p_p999 = p999;
+    p_violates = violates; p_knee = false }
+
+let run config ~run_rate =
+  let rates = List.sort_uniq Float.compare config.rates in
+  if List.length rates = 0 || List.exists (fun r -> not (r > 0.)) rates then
+    invalid_arg "Load.Sweep: rates must be a non-empty positive grid";
+  let grid = List.map (eval config ~run_rate) rates in
+  (* Bisect between the last compliant grid rate and the first violating
+     one: each step halves the bracket, keeping the knee the lowest
+     violating rate seen. *)
+  let rec first_bad prev = function
+    | [] -> None
+    | p :: tl ->
+        if p.p_violates then Some (prev, p) else first_bad (Some p) tl
+  in
+  let extra =
+    match first_bad None grid with
+    | Some (Some good, bad) when config.bisect_steps > 0 ->
+        let lo = ref good.p_rate and hi = ref bad.p_rate in
+        let acc = ref [] in
+        for _ = 1 to config.bisect_steps do
+          let mid = 0.5 *. (!lo +. !hi) in
+          let p = eval config ~run_rate mid in
+          acc := p :: !acc;
+          if p.p_violates then hi := mid else lo := mid
+        done;
+        List.rev !acc
+    | _ -> []
+  in
+  let all =
+    List.sort (fun a b -> Float.compare a.p_rate b.p_rate) (grid @ extra)
+  in
+  match List.find_opt (fun p -> p.p_violates) all with
+  | None -> all
+  | Some k ->
+      List.map (fun p -> { p with p_knee = p.p_rate = k.p_rate && p.p_violates }) all
+
+let knee points = List.find_opt (fun p -> p.p_knee) points

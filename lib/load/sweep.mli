@@ -1,0 +1,38 @@
+(** Offered-load sweep: walk a rate grid, find the knee.
+
+    The classic open-loop methodology (offered load vs response time):
+    evaluate each offered rate on a {e fresh} system — one cluster per
+    point, so no warm caches or leftover backlog couple the points —
+    and locate the knee, the first rate where the system stops keeping
+    up.  A point violates when its sojourn p99 exceeds the SLO {e or}
+    its achieved rate falls below [min_achieved_frac] of offered (the
+    saturation signature: completions can no longer track arrivals).
+    Optionally bisect between the last compliant and first violating
+    grid rates to pin the knee tighter than the grid resolution. *)
+
+type point = {
+  p_rate : float;  (** offered rate, requests/second *)
+  p_result : Driver.result;
+  p_p50 : float;
+  p_p99 : float;
+  p_p999 : float;  (** sojourn percentiles, seconds *)
+  p_violates : bool;  (** past the SLO or below the achieved-rate floor *)
+  p_knee : bool;  (** the lowest-rate violating point of the sweep *)
+}
+
+type config = {
+  rates : float list;  (** grid of offered rates; evaluated ascending *)
+  slo_s : float;  (** sojourn p99 SLO, seconds *)
+  min_achieved_frac : float;  (** violation floor, typically 0.95 *)
+  bisect_steps : int;  (** extra points between last-good and first-bad *)
+}
+
+val run : config -> run_rate:(float -> Driver.result) -> point list
+(** [run_rate rate] must evaluate one rate point on a fresh cluster and
+    return the driver result.  Points come back sorted by rate
+    (bisection points interleaved), with [p_knee] set on the lowest
+    violating rate, if any.
+    @raise Invalid_argument on an empty or non-positive rate grid. *)
+
+val knee : point list -> point option
+(** The [p_knee] point, if the sweep found one. *)

@@ -103,6 +103,32 @@ let hist_buckets h =
   done;
   !acc
 
+(* Same ceil-with-tolerance nearest-rank arithmetic as Stats.percentile
+   (see the comment there): the tolerance only undoes binary-float noise
+   in p/100*n, never skips a genuine rank. *)
+let hist_quantile h p =
+  if h.h_count = 0 then 0.
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let x = p /. 100. *. float_of_int h.h_count in
+    let rank =
+      Stdlib.max 1
+        (Stdlib.min h.h_count
+           (int_of_float (ceil (x -. (1e-9 +. (1e-12 *. x))))))
+    in
+    let acc = ref 0 and result = ref 0. and found = ref false in
+    for i = 0 to n_buckets - 1 do
+      if not !found then begin
+        acc := !acc + h.h_buckets.(i);
+        if !acc >= rank then begin
+          found := true;
+          result := bound_of i
+        end
+      end
+    done;
+    !result
+  end
+
 let sorted_bindings tbl =
   (* obs stays dependency-free (no ccpfs_util / Det_tbl here); the raw
      fold is immediately sorted by key below, so order can't leak *)

@@ -47,6 +47,15 @@ val hist_sum : histogram -> float
 val hist_buckets : histogram -> (float * int) list
 (** Non-empty buckets as [(upper_bound, count)], ascending. *)
 
+val hist_quantile : histogram -> float -> float
+(** [hist_quantile h p]: upper bound of the bucket holding the
+    nearest-rank [p]-th percentile (the smallest bucket whose cumulative
+    count reaches rank [ceil (p/100 * n)]).  Resolution is one
+    power-of-two bucket — a tail estimate (p99/p999) for dashboards, not
+    an exact order statistic; use {!Ccpfs_util.Stats.percentile} when
+    the samples themselves are retained.  [p] is clamped to [0, 100];
+    0. on an empty histogram. *)
+
 val to_json : t -> Json.t
 (** Snapshot: [{"counters": {...}, "gauges": {...}, "histograms": {...}}]
     with every instrument sorted by name.  Histograms carry count, sum,

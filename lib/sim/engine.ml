@@ -193,6 +193,11 @@ let schedule t ?(delay = 0.) thunk =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   push_event t ~time:(t.now +. delay) ~proc:None thunk
 
+let at t ~time thunk =
+  if time < t.now || not (Float.is_finite time) then
+    invalid_arg "Engine.at: time in the past or not finite";
+  push_event t ~time ~proc:None thunk
+
 type _ Effect.t +=
   | Suspend : string option * ((unit -> unit) -> unit) -> unit Effect.t
   | SleepFor : float -> unit Effect.t

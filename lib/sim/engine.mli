@@ -50,6 +50,16 @@ val spawn : t -> ?daemon:bool -> name:string -> (unit -> unit) -> unit
 val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 (** Run a plain thunk (not a blocking process) at [now + delay]. *)
 
+val at : t -> time:float -> (unit -> unit) -> unit
+(** Run a plain thunk at the absolute virtual time [time] (>= {!now}).
+    This is the open-loop load generator's arrival hook: a whole arrival
+    schedule can be installed up front at exact absolute timestamps,
+    independent of whatever the running processes are doing — {!sleep}
+    chains would instead accumulate each request's handling into the
+    next arrival time.  Installed thunks still pass through the event
+    jitter hook, so fuzzed runs may legally deliver them late.
+    @raise Invalid_argument if [time] is before {!now}. *)
+
 val run : ?until:float -> t -> unit
 (** Dispatch events until every regular process has finished, the queue is
     empty, or virtual time would pass [until].  May be called again to

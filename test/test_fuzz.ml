@@ -95,6 +95,72 @@ let test_drop_block_caught_by_shadow () =
       Alcotest.(check bool) "skeleton replays through Exec" true
         (contains ~sub:"Fuzz.Exec.run" (Fuzz.Case.to_ocaml_test f.shrunk))
 
+(* ---- open-loop load segments (lib/load integration) ---- *)
+
+let has_load (c : Fuzz.Case.t) =
+  match c.kind with
+  | Fuzz.Case.Sim s -> Option.is_some s.Fuzz.Case.load
+  | Fuzz.Case.Analytic _ -> false
+
+(* The generator draws load segments at the tail: they must actually
+   appear, and a case carrying one must pass every oracle (including
+   the load-conservation invariant Exec adds for the segment). *)
+let test_load_segment_generated_and_runs () =
+  let case = first_case has_load base in
+  let o = Fuzz.Exec.run case in
+  Alcotest.(check bool) "virtual time advanced" true (o.virtual_end > 0.);
+  let o2 = Fuzz.Exec.run case in
+  Alcotest.(check int64) "load segment is deterministic" o.fingerprint
+    o2.fingerprint
+
+(* Tail-draw stability: deleting the load segment from a case must not
+   change anything the earlier draws produced — i.e. the segment is
+   purely additive on the generated shape. *)
+let test_load_segment_tail_positioned () =
+  let case = first_case has_load base in
+  match case.kind with
+  | Fuzz.Case.Analytic _ -> assert false
+  | Fuzz.Case.Sim s ->
+      let stripped = { case with kind = Fuzz.Case.Sim { s with load = None } } in
+      ignore (Fuzz.Exec.run stripped);
+      (* summary of the stripped case is the old-style summary prefix *)
+      let sum = Fuzz.Case.summary case
+      and sum' = Fuzz.Case.summary stripped in
+      Alcotest.(check bool) "stripped summary is a prefix" true
+        (String.length sum > String.length sum'
+        && String.sub sum 0 (String.length sum') = sum')
+
+(* The shrinker's very first candidate for a load-carrying case drops
+   the whole segment, so old failures minimize back to plain cases. *)
+let test_shrink_drops_load_first () =
+  let case = first_case has_load base in
+  match Fuzz.Shrink.candidates case with
+  | [] -> Alcotest.fail "no candidates for a load-carrying case"
+  | first :: _ ->
+      Alcotest.(check bool) "first candidate has no load segment" true
+        (not (has_load first));
+      (* and nothing else about the sim changed *)
+      (match (case.kind, first.kind) with
+      | Fuzz.Case.Sim a, Fuzz.Case.Sim b ->
+          Alcotest.(check int) "clients kept" a.Fuzz.Case.n_clients
+            b.Fuzz.Case.n_clients;
+          Alcotest.(check int) "phases kept"
+            (List.length a.Fuzz.Case.phases)
+            (List.length b.Fuzz.Case.phases)
+      | _ -> Alcotest.fail "candidate changed case kind")
+
+let test_load_segment_json_and_skeleton () =
+  let case = first_case has_load base in
+  (match Obs.Json.parse (Obs.Json.to_string (Fuzz.Case.to_json case)) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  let skel = Fuzz.Case.to_ocaml_test case in
+  Alcotest.(check bool) "skeleton embeds the load segment" true
+    (contains ~sub:"l_rate" skel && contains ~sub:"l_churn" skel);
+  let plain = first_case (fun c -> is_sim c && not (has_load c)) base in
+  Alcotest.(check bool) "plain skeleton writes load = None" true
+    (contains ~sub:"load = None" (Fuzz.Case.to_ocaml_test plain))
+
 let test_case_json_shape () =
   let case = first_case is_sim base in
   match Obs.Json.parse (Obs.Json.to_string (Fuzz.Case.to_json case)) with
@@ -119,5 +185,13 @@ let suite =
         Alcotest.test_case "planted block drop: caught by shadow file" `Quick
           test_drop_block_caught_by_shadow;
         Alcotest.test_case "case JSON round-trip" `Quick test_case_json_shape;
+        Alcotest.test_case "load segment generated and deterministic" `Quick
+          test_load_segment_generated_and_runs;
+        Alcotest.test_case "load draw is tail-positioned" `Quick
+          test_load_segment_tail_positioned;
+        Alcotest.test_case "shrinker drops the load segment first" `Quick
+          test_shrink_drops_load_first;
+        Alcotest.test_case "load segment JSON and test skeleton" `Quick
+          test_load_segment_json_and_skeleton;
       ] );
   ]

@@ -28,6 +28,58 @@ let test_hist_bucketing () =
   Metrics.observe (Metrics.histogram reg "lat") 1.2;
   Alcotest.(check int) "same instrument" 7 (Metrics.hist_count h)
 
+(* hist_quantile: nearest-rank over the cumulative bucket counts,
+   reported as the holding bucket's upper bound. *)
+let test_hist_quantile () =
+  let reg = Metrics.create () in
+  Metrics.enable reg;
+  let h = Metrics.histogram reg "q" in
+  feq "empty histogram" 0. (Metrics.hist_quantile h 50.);
+  (* 90 samples in the (0.5, 1] bucket, 9 in (1, 2], 1 in (2, 4]:
+     ranks 1-90 resolve to 1.0, 91-99 to 2.0, 100 to 4.0 *)
+  for _ = 1 to 90 do Metrics.observe h 0.9 done;
+  for _ = 1 to 9 do Metrics.observe h 1.5 done;
+  Metrics.observe h 3.0;
+  feq "p50 in the bulk bucket" 1.0 (Metrics.hist_quantile h 50.);
+  feq "p90 is the bulk's last rank" 1.0 (Metrics.hist_quantile h 90.);
+  feq "p91 crosses into the tail" 2.0 (Metrics.hist_quantile h 91.);
+  feq "p99 in the tail bucket" 2.0 (Metrics.hist_quantile h 99.);
+  feq "p99.9 rounds up to the max bucket" 4.0 (Metrics.hist_quantile h 99.9);
+  feq "p100 is the max bucket" 4.0 (Metrics.hist_quantile h 100.);
+  feq "p0 clamps to rank 1" 1.0 (Metrics.hist_quantile h 0.);
+  feq "p<0 clamps" 1.0 (Metrics.hist_quantile h (-3.));
+  feq "p>100 clamps" 4.0 (Metrics.hist_quantile h 200.)
+
+(* Differential check against the exact order statistic: on retained
+   samples, Stats.percentile and hist_quantile must agree up to one
+   power-of-two bucket (the histogram's stated resolution). *)
+let prop_hist_quantile_vs_stats =
+  let open QCheck in
+  Test.make ~name:"hist_quantile brackets Stats.percentile" ~count:200
+    (make
+       ~print:Print.(pair (list float) (list int))
+       Gen.(pair
+              (list_size (int_range 1 60) (float_range 1e-6 1e6))
+              (list_size (int_range 1 8) (int_bound 1000))))
+    (fun (xs, ps) ->
+      let reg = Metrics.create () in
+      Metrics.enable reg;
+      let h = Metrics.histogram reg "d" in
+      let s = Ccpfs_util.Stats.create () in
+      List.iter
+        (fun x ->
+          Metrics.observe h x;
+          Ccpfs_util.Stats.add s x)
+        xs;
+      List.for_all
+        (fun pm ->
+          let p = float_of_int pm /. 10. in
+          let exact = Ccpfs_util.Stats.percentile s p in
+          let bucket = Metrics.hist_quantile h p in
+          (* the exact sample lies in the bucket: [bucket/2, bucket) *)
+          exact < bucket && exact >= bucket /. 2.)
+        ps)
+
 let test_metrics_disabled_noop () =
   let reg = Metrics.create () in
   Alcotest.(check bool) "starts disabled" false (Metrics.is_enabled reg);
@@ -361,6 +413,9 @@ let suite =
     ( "obs",
       [
         Alcotest.test_case "histogram bucketing" `Quick test_hist_bucketing;
+        Alcotest.test_case "histogram quantiles" `Quick test_hist_quantile;
+        QCheck_alcotest.to_alcotest ~rand:(Fuzz.Seed.rand_state ())
+          prop_hist_quantile_vs_stats;
         Alcotest.test_case "disabled metrics are no-ops" `Quick
           test_metrics_disabled_noop;
         Alcotest.test_case "metrics JSON snapshot" `Quick

@@ -179,6 +179,7 @@ let test_crash_with_dirty_cache_flush () =
             loss = 0.;
             dup = 0.;
             batch = 0;
+            load = None;
             phases =
               [
                 {

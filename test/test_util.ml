@@ -657,6 +657,61 @@ let prop_stats_percentile_nearest_rank =
       in
       Stats.percentile s (float_of_int p) = List.nth sorted (rank - 1))
 
+(* The same exact-rank property at per-mille resolution: p is drawn in
+   tenths of a percent (0..1000 per-mille), the oracle rank is computed
+   in exact integer arithmetic, and the tail percentiles the load
+   benchmark reports — p50/p99/p999 — are all inside the drawn range.
+   n stays below 1000, so this also sweeps the below-resolution regime
+   where every p > (n-1)/n * 100 must return the maximum. *)
+let prop_stats_percentile_permille =
+  let open QCheck in
+  Test.make ~name:"percentile matches nearest-rank spec at p999 resolution"
+    ~count:300
+    (make
+       ~print:Print.(pair (list int) int)
+       Gen.(pair (list_size (int_range 1 80) (int_bound 1000)) (int_bound 1000)))
+    (fun (xs, pm) ->
+      let s = Stats.create () in
+      List.iter (fun x -> Stats.add s (float_of_int x)) xs;
+      let sorted = List.sort compare (List.map float_of_int xs) in
+      let n = List.length sorted in
+      let rank =
+        (* smallest i (1-based) with i * 1000 >= pm * n *)
+        Stdlib.max 1 (Stdlib.min n (((pm * n) + 999) / 1000))
+      in
+      Stats.percentile s (float_of_int pm /. 10.) = List.nth sorted (rank - 1))
+
+(* Regression pins for p999 around the resolution boundary: with fewer
+   than 1000 samples the nearest rank of p999 is n itself (the maximum);
+   at exactly n = 1000 distinct samples the rank is 999, i.e. the
+   second-largest value — the first point where p999 and the max
+   separate. *)
+let test_stats_p999_resolution () =
+  let ramp n =
+    let s = Stats.create () in
+    for i = 1 to n do
+      Stats.add s (float_of_int i)
+    done;
+    s
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "n=%d below p999 resolution: p999 = max" n)
+        (float_of_int n)
+        (Stats.percentile (ramp n) 99.9))
+    [ 1; 10; 100; 999 ];
+  let s1000 = ramp 1000 in
+  Alcotest.(check (float 0.)) "n=1000: p999 is the 999th sample" 999.
+    (Stats.percentile s1000 99.9);
+  Alcotest.(check (float 0.)) "n=1000: p100 is still the max" 1000.
+    (Stats.percentile s1000 100.);
+  (* ordering the load rows rely on: p50 <= p99 <= p999 <= max *)
+  let p50 = Stats.percentile s1000 50.
+  and p99 = Stats.percentile s1000 99.
+  and p999 = Stats.percentile s1000 99.9 in
+  Alcotest.(check bool) "p50 <= p99 <= p999" true (p50 <= p99 && p99 <= p999)
+
 let test_units () =
   Alcotest.(check string) "64KiB" "64KiB" (Units.bytes_to_string (64 * 1024));
   Alcotest.(check string) "1MiB" "1MiB" (Units.bytes_to_string (1024 * 1024));
@@ -815,6 +870,9 @@ let suite =
         Alcotest.test_case "spread stream has p50 < p99" `Quick
           test_stats_spread_p50_lt_p99;
         q prop_stats_percentile_nearest_rank;
+        q prop_stats_percentile_permille;
+        Alcotest.test_case "p999 at the resolution boundary" `Quick
+          test_stats_p999_resolution;
         Alcotest.test_case "units" `Quick test_units;
         Alcotest.test_case "table render" `Quick test_table_render;
         Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
