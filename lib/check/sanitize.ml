@@ -36,9 +36,31 @@ let attach_cluster cl =
         Invariant.check_client_rid ~lock_client ~cache rid)
   done
 
+(* Ownership exclusivity (DESIGN.md §15): live lock state for a resource
+   may exist only on the server the shard map currently names as its
+   owner.  Residual empty rstates (everything released or migrated away)
+   are allowed — only grants or queued waiters on a non-owner are a
+   violation. *)
+let check_ownership cl =
+  List.iteri
+    (fun i srv ->
+      List.iter
+        (fun rid ->
+          if
+            (Seqdlm.Lock_server.granted_locks srv rid <> []
+            || Seqdlm.Lock_server.queue_length srv rid > 0)
+            && Cluster.server_of_rid cl rid <> i
+          then
+            Violation.fail ~inv:"shard-ownership"
+              "ls%d holds live state for r%d owned by ls%d" i rid
+              (Cluster.server_of_rid cl rid))
+        (Seqdlm.Lock_server.resource_ids srv))
+    (servers cl)
+
 let check_cluster cl =
   Lcm_oracle.cross_check ();
   List.iter Invariant.check_server (servers cl);
+  check_ownership cl;
   for i = 0 to Cluster.n_clients cl - 1 do
     let c = Cluster.client cl i in
     Invariant.check_client ~lock_client:(Client.lock_client c)

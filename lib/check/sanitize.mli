@@ -26,10 +26,16 @@ val attach_cluster : Cluster.t -> unit
 (** [attach_server] on every lock server, plus cache audits on every
     client. *)
 
+val check_ownership : Cluster.t -> unit
+(** Shard-ownership exclusivity (DESIGN.md §15): raises {!Violation.Violation}
+    if any server holds grants or queued waiters for a resource the
+    shard map assigns to a different server. *)
+
 val check_cluster : Cluster.t -> unit
-(** One full sweep: Table II cross-check, all server invariants, all
-    client cache-coverage checks.  Useful at quiescence even when the
-    per-transition hooks were not attached. *)
+(** One full sweep: Table II cross-check, all server invariants,
+    shard-ownership exclusivity, all client cache-coverage checks.
+    Useful at quiescence even when the per-transition hooks were not
+    attached. *)
 
 val run_cluster : ?until:float -> Cluster.t -> unit
 (** [Cluster.run] but an engine deadlock is re-raised as

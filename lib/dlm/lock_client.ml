@@ -64,10 +64,14 @@ type t = {
   mutable recover_ep : (recovery_query, recovery_lock list) Rpc.endpoint option;
   view : Rpc.View.t;
   mutable rel : Rpc.reliability option;
+  mutable map_refresh : (min_epoch:int -> unit) option;
+      (* installed by the cluster: fetch a shard-map snapshot of at least
+         [min_epoch] and install it into the cache [route] consults *)
   mutable locking : float;
   mutable n_acquires : int;
   mutable n_hits : int;
   mutable n_cancels : int;
+  mutable n_stale : int; (* Stale_owner bounces seen *)
 }
 
 let rid_locks t rid =
@@ -296,10 +300,12 @@ let create eng params ~node ~client_id ~route ~hooks =
       recover_ep = None;
       view = Rpc.View.create ~salt:client_id ();
       rel = None;
+      map_refresh = None;
       locking = 0.;
       n_acquires = 0;
       n_hits = 0;
       n_cancels = 0;
+      n_stale = 0;
     }
   in
   t.revoke_ep <-
@@ -373,25 +379,53 @@ let acquire t ~rid ~mode ~ranges =
       l.holders <- l.holders + 1;
       l
   | None ->
-      let srv = server t rid in
-      (* Push parked control traffic for this server out ahead of the
-         request (best effort: ctl and lock ride separate batch queues,
-         and the server tolerates either arrival order — unknown lock
-         ids no-op, own-lock conflicts convert). *)
-      (match Hashtbl.find_opt t.pb (Node.name (Lock_server.node srv)) with
-      | Some q -> pb_drain t q
-      | None -> ());
       let t0 = Engine.now t.eng in
       let req = { Types.client = t.id; rid; mode; ranges } in
-      let ep = Lock_server.lock_endpoint srv in
-      let grant =
-        match t.rel with
-        | None -> Rpc.call ep ~src:t.node req
-        | Some rel ->
-            (* Fenced + retried: survives a server crash while the request
-               (or its grant) is in flight. *)
-            Rpc.call_reliable ep ~src:t.node ~reliability:rel ~view:t.view req
+      (* The route is re-read on every attempt: a [Stale_owner] bounce
+         refreshes the shard-map cache, so the retry goes to the current
+         owner (DESIGN.md §15).  The attempt bound only guards against a
+         broken map service — each bounce installs a strictly newer map,
+         so a live cluster converges in one or two hops. *)
+      let rec attempt tries =
+        let srv = server t rid in
+        (* Push parked control traffic for this server out ahead of the
+           request (best effort: ctl and lock ride separate batch queues,
+           and the server tolerates either arrival order — unknown lock
+           ids no-op, own-lock conflicts convert). *)
+        (match Hashtbl.find_opt t.pb (Node.name (Lock_server.node srv)) with
+        | Some q -> pb_drain t q
+        | None -> ());
+        let ep = Lock_server.lock_endpoint srv in
+        let resp =
+          match t.rel with
+          | None -> Rpc.call ep ~src:t.node req
+          | Some rel ->
+              (* Fenced + retried: survives a server crash while the
+                 request (or its grant) is in flight. *)
+              Rpc.call_reliable ep ~src:t.node ~reliability:rel ~view:t.view
+                req
+        in
+        match resp with
+        | Types.Granted g -> g
+        | Types.Stale_owner { epoch } ->
+            t.n_stale <- t.n_stale + 1;
+            (match t.map_refresh with
+            | Some refresh -> refresh ~min_epoch:epoch
+            | None ->
+                failwith
+                  (Printf.sprintf
+                     "c%d: Stale_owner (epoch %d) for rid %d with no \
+                      shard-map refresh hook"
+                     t.id epoch rid));
+            if tries <= 1 then
+              failwith
+                (Printf.sprintf
+                   "c%d: rid %d still bouncing after map refresh to epoch \
+                    >= %d"
+                   t.id rid epoch)
+            else attempt (tries - 1)
       in
+      let grant = attempt 16 in
       t.locking <- t.locking +. (Engine.now t.eng -. t0);
       install_grant t grant
 
@@ -429,6 +463,8 @@ let cached_locks t = Hashtbl.length t.locks
 let client_id t = t.id
 let view t = t.view
 let set_reliability t rel = t.rel <- Some rel
+let set_map_refresh t f = t.map_refresh <- Some f
+let stale_bounces t = t.n_stale
 
 let set_piggyback t ~delay =
   if delay < 0. then invalid_arg "Lock_client.set_piggyback: delay < 0";

@@ -93,6 +93,20 @@ val locks_for_recovery :
 val set_reliability : t -> Netsim.Rpc.reliability -> unit
 val reliability : t -> Netsim.Rpc.reliability option
 
+(** {1 Sharded namespace (DESIGN.md §15)}
+
+    In a sharded cluster the [route] closure reads a shard-map cache,
+    and a server that no longer owns a resource answers [Stale_owner].
+    The refresh hook fetches a map snapshot of at least the bounce's
+    epoch and installs it, after which {!acquire} re-routes and
+    retries.  Without a hook a bounce is a protocol failure. *)
+
+val set_map_refresh : t -> (min_epoch:int -> unit) -> unit
+
+val stale_bounces : t -> int
+(** [Stale_owner] bounces seen so far (each costs one extra round
+    trip plus the map fetch). *)
+
 (** {1 Piggybacking (DESIGN.md §13)}
 
     When the policy rides releases on flush traffic

@@ -34,7 +34,7 @@ type lock = {
 
 type waiter = {
   req : Types.request;
-  reply : Types.grant -> unit;
+  reply : Types.lock_reply -> unit;
   mutable eff_mode : Mode.t;
   enq_time : float;
   mutable acks_time : float option;
@@ -105,6 +105,18 @@ type trace_event =
                      t_mode : Mode.t }
   | T_crash of { t_dropped_waiters : int }
 
+(* Shard-awareness hooks (DESIGN.md §15), installed by the cluster once a
+   routing table exists.  [sh_owned] answers against the authoritative
+   map; [sh_epoch] stamps the bounces; [sh_forward_ctl] routes a
+   fire-and-forget control message that arrived here after its resource
+   migrated away (it cannot be bounced — nobody awaits a reply). *)
+type sharding = {
+  sh_owned : Types.resource_id -> bool;
+  sh_epoch : unit -> int;
+  sh_forward_ctl :
+    Types.resource_id -> (Types.ctl_msg, unit) Rpc.endpoint option;
+}
+
 type t = {
   eng : Engine.t;
   params : Params.t;
@@ -116,11 +128,20 @@ type t = {
   mutable next_lock_id : int;
   mutable next_seq : int;
   stats : stats;
-  mutable lock_ep : (Types.request, Types.grant) Rpc.endpoint option;
+  mutable lock_ep : (Types.request, Types.lock_reply) Rpc.endpoint option;
   mutable ctl_ep : (Types.ctl_msg, unit) Rpc.endpoint option;
   mutable tracer : (float -> trace_event -> unit) option;
   mutable validator : (t -> unit) option;
   q_depth : Obs.Metrics.histogram; (* queue length at each enqueue *)
+  q_gauge : Obs.Metrics.gauge; (* live queued-waiter total, all resources *)
+  mutable queued_total : int; (* mirror of the gauge (metrics may be off) *)
+  mutable sharding : sharding option;
+  frozen :
+    ( Types.resource_id,
+      (Types.request * (Types.lock_reply -> unit)) list ref )
+    Hashtbl.t;
+      (* migration intake freeze: arrivals for a freezing resource park
+         here (newest first) until commit bounces or abort replays them *)
   mutable sn_reuse_every : int; (* injected sequencer fault: 0 = off *)
   mutable sn_issued : int;
 }
@@ -236,7 +257,7 @@ let queue_index_update rs ~rank ~lo delta =
   let n = (match Int_map.find_opt lo m with Some n -> n | None -> 0) + delta in
   rs.q_lo.(rank) <- (if n <= 0 then Int_map.remove lo m else Int_map.add lo n m)
 
-let queue_track rs (w : waiter) delta =
+let queue_track t rs (w : waiter) delta =
   (match w.req.ranges with
   | [] -> ()
   | ranges ->
@@ -251,10 +272,15 @@ let queue_track rs (w : waiter) delta =
     + delta
   in
   if n <= 0 then Hashtbl.remove rs.waiting_by_client c
-  else Hashtbl.replace rs.waiting_by_client c n
+  else Hashtbl.replace rs.waiting_by_client c n;
+  (* Server-wide live queue depth: every enqueue/unlink funnels through
+     here, so the counter (and its gauge, the rebalancer's load signal)
+     is exact at all times. *)
+  t.queued_total <- t.queued_total + delta;
+  Obs.Metrics.set_gauge t.q_gauge (float_of_int t.queued_total)
 
-let queue_enqueue rs w = queue_track rs w 1
-let queue_unlink rs w = queue_track rs w (-1)
+let queue_enqueue t rs w = queue_track t rs w 1
+let queue_unlink t rs w = queue_track t rs w (-1)
 
 (* Called after [visit_node] writes the conversion join back into
    [eff_mode]: move the waiter's entry between mode buckets. *)
@@ -514,7 +540,7 @@ let grant_waiter t rs (w : waiter) ~own ~early =
     }
   in
   trace t (T_grant (g, if early then `Early else `Normal));
-  w.reply g;
+  w.reply (Types.Granted g);
   lock
 
 (* Visit one queue node against the blocked set accumulated over every
@@ -592,7 +618,7 @@ let visit_node t rs ~blocked ~saturated node =
             (hull_overlapping rs w.req.ranges)
         in
         Dllist.remove rs.waiting node;
-        queue_unlink rs w;
+        queue_unlink t rs w;
         ignore (grant_waiter t rs w ~own ~early);
         true
       end
@@ -688,7 +714,7 @@ let submit_one t (req : Types.request) ~reply =
     }
   in
   let node = Dllist.push_back rs.waiting w in
-  queue_enqueue rs w;
+  queue_enqueue t rs w;
   let q = Dllist.length rs.waiting in
   if q > t.stats.max_queue then t.stats.max_queue <- q;
   Obs.Metrics.observe t.q_depth (float_of_int q);
@@ -706,8 +732,22 @@ let submit_one t (req : Types.request) ~reply =
       if granted then process t rs
   | None -> process t rs
 
+(* Ownership gate of the sharded namespace (DESIGN.md §15).  A request
+   for a frozen resource parks (the map still names this server, so a
+   bounce would just come straight back); a request for a resource this
+   server does not own is bounced with the current map epoch, without
+   ever creating resource state here. *)
+let admit_one t (req : Types.request) ~reply =
+  match Hashtbl.find_opt t.frozen req.rid with
+  | Some parked -> parked := (req, reply) :: !parked
+  | None -> (
+      match t.sharding with
+      | Some sh when not (sh.sh_owned req.rid) ->
+          reply (Types.Stale_owner { epoch = sh.sh_epoch () })
+      | _ -> submit_one t req ~reply)
+
 let handle_request t (req : Types.request) ~reply =
-  submit_one t req ~reply;
+  admit_one t req ~reply;
   validate t
 
 (* Vectorized entry for the transport's batch handler: decide a request
@@ -716,11 +756,46 @@ let handle_request t (req : Types.request) ~reply =
    the queue-scan cost amortized: under contention every element after
    the first hits the quiescent fast path refreshed by its predecessor.
    One sanitizer sweep at the end: the batch is one external event. *)
-let submit_batch t reqs =
-  List.iter (fun (req, reply) -> submit_one t req ~reply) reqs;
+let handle_batch t reqs =
+  List.iter (fun (req, reply) -> admit_one t req ~reply) reqs;
   validate t
 
+(* Direct in-process entry (tests, benchmarks, the colocated data
+   server): no shard gate, replies are plain grants. *)
+let grant_only t (req : Types.request) reply : Types.lock_reply -> unit =
+  function
+  | Types.Granted g -> reply g
+  | Types.Stale_owner { epoch } ->
+      invalid_arg
+        (Printf.sprintf "%s: direct submit bounced (rid %d, map epoch %d)"
+           t.name req.Types.rid epoch)
+
+let submit_batch t reqs =
+  List.iter
+    (fun (req, reply) -> submit_one t req ~reply:(grant_only t req reply))
+    reqs;
+  validate t
+
+let ctl_rid : Types.ctl_msg -> Types.resource_id = function
+  | Types.Revoke_ack { rid; _ }
+  | Types.Downgrade { rid; _ }
+  | Types.Release { rid; _ } ->
+      rid
+
 let handle_ctl t (msg : Types.ctl_msg) ~reply =
+  match t.sharding with
+  | Some sh when not (sh.sh_owned (ctl_rid msg)) ->
+      (* A control message for a resource that migrated away: route it on
+         to the current owner (one extra hop), never touch local state —
+         processing it here would resurrect an rstate on a non-owner.
+         With no known owner endpoint the message is dropped, which is
+         safe: every ctl handler no-ops on unknown lock ids. *)
+      (match sh.sh_forward_ctl (ctl_rid msg) with
+      | Some ep when Rpc.name ep <> t.name ^ ".ctl" ->
+          Rpc.notify ep ~src:t.node msg
+      | Some _ | None -> ());
+      reply ()
+  | _ ->
   (match msg with
   | Types.Revoke_ack { rid; lock_id } -> (
       trace t (T_ack { t_rid = rid; t_lock_id = lock_id });
@@ -754,7 +829,10 @@ let handle_ctl t (msg : Types.ctl_msg) ~reply =
   validate t;
   reply ()
 
-let submit t req ~on_grant = handle_request t req ~reply:on_grant
+let submit t req ~on_grant =
+  submit_one t req ~reply:(grant_only t req on_grant);
+  validate t
+
 let control t msg = handle_ctl t msg ~reply:(fun () -> ())
 
 let create eng params ~node ~name ~policy =
@@ -773,6 +851,12 @@ let create eng params ~node ~name ~policy =
       q_depth =
         Obs.Metrics.histogram (Engine.metrics eng)
           (Printf.sprintf "dlm.%s.queue_depth" name);
+      q_gauge =
+        Obs.Metrics.gauge (Engine.metrics eng)
+          (Printf.sprintf "dlm.%s.queue" name);
+      queued_total = 0;
+      sharding = None;
+      frozen = Hashtbl.create 4;
       sn_reuse_every = 0;
       sn_issued = 0;
     }
@@ -784,7 +868,7 @@ let create eng params ~node ~name ~policy =
   (* With transport batching on, a flushed request batch is decided by
      the vectorized entry instead of n separate handler invocations. *)
   (match t.lock_ep with
-  | Some ep -> Rpc.set_batch_handler ep (fun reqs -> submit_batch t reqs)
+  | Some ep -> Rpc.set_batch_handler ep (fun reqs -> handle_batch t reqs)
   | None -> ());
   t.ctl_ep <-
     Some
@@ -819,16 +903,21 @@ let sync_resource t rid ~on_behalf ~reply =
       ranges = [ Interval.to_eof ~lo:0 ];
     }
   in
-  let w_reply (g : Types.grant) =
-    (* The pseudo-lock served its purpose the instant it is grantable:
-       every conflicting write lock has been released.  Drop it. *)
-    (match find_lock rs g.lock_id with
-    | Some l ->
-        touch rs;
-        granted_remove rs l
-    | None -> ());
-    process t rs;
-    reply ()
+  let w_reply : Types.lock_reply -> unit = function
+    | Types.Stale_owner _ ->
+        (* Internal waiters are never bounced: a migration with one
+           queued aborts instead ([migrate_out]). *)
+        invalid_arg (t.name ^ ": internal sync waiter bounced")
+    | Types.Granted g ->
+        (* The pseudo-lock served its purpose the instant it is grantable:
+           every conflicting write lock has been released.  Drop it. *)
+        (match find_lock rs g.lock_id with
+        | Some l ->
+            touch rs;
+            granted_remove rs l
+        | None -> ());
+        process t rs;
+        reply ()
   in
   let w =
     {
@@ -844,7 +933,7 @@ let sync_resource t rid ~on_behalf ~reply =
      accumulator no longer covers the queue: drop it before processing. *)
   touch rs;
   ignore (Dllist.push_back rs.waiting w);
-  queue_enqueue rs w;
+  queue_enqueue t rs w;
   process t rs;
   validate t
 
@@ -858,19 +947,30 @@ let crash t =
           (Printf.sprintf "%s: crash with %d queued requests on resource %d"
              t.name (Dllist.length rs.waiting) rid))
     (sorted_resources t);
-  Hashtbl.reset t.resources
+  if Hashtbl.length t.frozen > 0 then
+    invalid_arg (t.name ^ ": crash during a resource migration");
+  Hashtbl.reset t.resources;
+  t.queued_total <- 0;
+  Obs.Metrics.set_gauge t.q_gauge 0.
 
 let crash_online t =
   (* Unlike [crash], queued waiters are allowed — and lost with the rest
      of the table.  Safe only when every waiter's caller retransmits (the
      fenced retry path): its resubmission re-enqueues the request on the
-     recovered server and re-triggers any revocations it needs. *)
+     recovered server and re-triggers any revocations it needs.  Parked
+     migration intake is lost the same way. *)
   let dropped =
     List.fold_left
       (fun acc (_, rs) -> acc + Dllist.length rs.waiting)
       0 (sorted_resources t)
+    + Det_tbl.fold_sorted ~cmp:Int.compare
+        (fun _ parked acc -> acc + List.length !parked)
+        t.frozen 0
   in
   Hashtbl.reset t.resources;
+  Hashtbl.reset t.frozen;
+  t.queued_total <- 0;
+  Obs.Metrics.set_gauge t.q_gauge 0.;
   trace t (T_crash { t_dropped_waiters = dropped });
   dropped
 
@@ -903,6 +1003,136 @@ let reinstall t ~client ~locks =
 let restore_sn_floor t rid sn =
   let rs = rstate t rid in
   if sn >= rs.next_sn then rs.next_sn <- sn + 1
+
+(* ------------------------------------------------------------------ *)
+(* Sharded namespace: ownership gate and resource migration            *)
+(* ------------------------------------------------------------------ *)
+
+let set_sharding t ~owned ~epoch ~forward_ctl =
+  t.sharding <-
+    Some { sh_owned = owned; sh_epoch = epoch; sh_forward_ctl = forward_ctl }
+
+type migration_state = {
+  mig_rid : Types.resource_id;
+  mig_next_sn : int;
+  mig_bounced : int;
+  mig_locks :
+    (Types.client_id
+    * (Types.resource_id * int * Mode.t * Interval.t list * int
+      * Lcm.lock_state))
+    list; (* sorted by lock id *)
+  mig_clients : (Types.client_id * (Types.server_msg, unit) Rpc.endpoint) list;
+      (* revoke-callback registrations the new owner needs, sorted *)
+}
+
+let freeze t rid =
+  if Hashtbl.mem t.frozen rid then
+    invalid_arg (Printf.sprintf "%s: resource %d already freezing" t.name rid);
+  Hashtbl.add t.frozen rid (ref [])
+
+let cancel_freeze t rid =
+  match Hashtbl.find_opt t.frozen rid with
+  | None -> ()
+  | Some parked ->
+      Hashtbl.remove t.frozen rid;
+      (* Replay the parked intake in arrival order: this server still
+         owns the resource, so the requests queue normally. *)
+      List.iter (fun (req, reply) -> admit_one t req ~reply) (List.rev !parked);
+      validate t
+
+let is_frozen t rid = Hashtbl.mem t.frozen rid
+
+let can_migrate t rid =
+  match Hashtbl.find_opt t.resources rid with
+  | None -> true
+  | Some rs -> not (Dllist.exists (fun (w : waiter) -> w.internal) rs.waiting)
+
+let migrate_out t rid ~epoch =
+  let parked =
+    match Hashtbl.find_opt t.frozen rid with
+    | Some p -> p
+    | None -> invalid_arg (t.name ^ ": migrate_out without freeze")
+  in
+  match Hashtbl.find_opt t.resources rid with
+  | Some rs when Dllist.exists (fun (w : waiter) -> w.internal) rs.waiting ->
+      (* A colocated force-sync holds an internal pseudo-request whose
+         reply closure closes over this server's state — it cannot move.
+         Abort; the caller cancels the freeze and retries later. *)
+      None
+  | rs_opt ->
+      Hashtbl.remove t.frozen rid;
+      let bounce reply = reply (Types.Stale_owner { epoch }) in
+      let bounced = ref 0 in
+      let st =
+        match rs_opt with
+        | None ->
+            { mig_rid = rid; mig_next_sn = 1; mig_bounced = 0; mig_locks = [];
+              mig_clients = [] }
+        | Some rs ->
+            (* Queued waiters cannot be transferred — their reply closures
+               belong to this server's transport.  Bounce them with the
+               post-migration epoch: each client refreshes its map and
+               resubmits at the new owner (FIFO order across a migration
+               is intentionally relaxed, as it is across a failover). *)
+            let rec drain () =
+              match Dllist.first_node rs.waiting with
+              | None -> ()
+              | Some node ->
+                  let w = Dllist.value node in
+                  Dllist.remove rs.waiting node;
+                  queue_unlink t rs w;
+                  incr bounced;
+                  bounce w.reply;
+                  drain ()
+            in
+            drain ();
+            let locks =
+              granted_fold (fun g acc -> g :: acc) rs []
+              |> List.sort (fun (a : lock) b -> Int.compare a.id b.id)
+            in
+            let cids =
+              List.sort_uniq Int.compare
+                (List.map (fun (g : lock) -> g.client) locks)
+            in
+            Hashtbl.remove t.resources rid;
+            {
+              mig_rid = rid;
+              mig_next_sn = rs.next_sn;
+              mig_bounced = 0;
+              mig_locks =
+                List.map
+                  (fun (g : lock) ->
+                    (g.client, (rid, g.id, g.mode, g.ranges, g.sn, g.state)))
+                  locks;
+              mig_clients =
+                List.filter_map
+                  (fun c ->
+                    match Hashtbl.find_opt t.clients c with
+                    | Some ep -> Some (c, ep)
+                    | None -> None)
+                  cids;
+            }
+      in
+      List.iter (fun (_req, reply) -> bounce reply) (List.rev !parked);
+      bounced := !bounced + List.length !parked;
+      validate t;
+      Some { st with mig_bounced = !bounced }
+
+let adopt t (st : migration_state) =
+  List.iter (fun (c, ep) -> register_client t c ep) st.mig_clients;
+  List.iter (fun (c, l) -> reinstall t ~client:c ~locks:[ l ]) st.mig_locks;
+  restore_sn_floor t st.mig_rid (st.mig_next_sn - 1)
+
+let total_queued t = t.queued_total
+
+let hottest_resource t =
+  List.fold_left
+    (fun acc (rid, rs) ->
+      let q = Dllist.length rs.waiting in
+      match acc with
+      | Some (_, best) when best >= q -> acc
+      | _ -> if q > 0 then Some (rid, q) else acc)
+    None (sorted_resources t)
 
 let inject_sn_reuse t ~every =
   if every <= 0 then invalid_arg (t.name ^ ": inject_sn_reuse: every <= 0");
@@ -1075,4 +1305,12 @@ let check_invariants t =
             pairs rest
       in
       pairs granted)
-    (sorted_resources t)
+    (sorted_resources t);
+  (* The live server-wide queue counter (the rebalancer's load signal)
+     must equal a recomputation from the per-resource queues. *)
+  let queued =
+    List.fold_left
+      (fun acc (_, rs) -> acc + Dllist.length rs.waiting)
+      0 (sorted_resources t)
+  in
+  assert (queued = t.queued_total)

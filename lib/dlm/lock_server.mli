@@ -47,7 +47,12 @@ val create :
   Dessim.Engine.t -> Netsim.Params.t -> node:Netsim.Node.t -> name:string ->
   policy:Policy.t -> t
 
-val lock_endpoint : t -> (Types.request, Types.grant) Netsim.Rpc.endpoint
+val lock_endpoint : t -> (Types.request, Types.lock_reply) Netsim.Rpc.endpoint
+(** The request/grant RPC.  In a sharded cluster the reply can be
+    [Stale_owner] (DESIGN.md §15): the server consulted the ownership
+    hooks ({!set_sharding}) and no longer owns the resource — the caller
+    must refresh its shard-map cache and retry at the current owner. *)
+
 val ctl_endpoint : t -> (Types.ctl_msg, unit) Netsim.Rpc.endpoint
 
 val register_client :
@@ -155,6 +160,84 @@ val reinstall :
 
 val restore_sn_floor : t -> Types.resource_id -> int -> unit
 (** Ensure the resource's next SN is strictly greater than [sn]. *)
+
+(** {1 Sharded namespace (DESIGN.md §15)}
+
+    With ownership hooks installed, the lock endpoint bounces requests
+    for resources this server does not own ([Stale_owner] carrying the
+    current map epoch) and control messages are forwarded on to the
+    owner's ctl endpoint.  Without hooks the server owns everything —
+    the pre-sharding behaviour, and what every direct-driven test gets.
+
+    Migrating a resource out is a three-step handshake driven by the
+    cluster coordinator: {!freeze} parks new intake, the coordinator
+    flips the authoritative map, and {!migrate_out} extracts the lock
+    table (bouncing parked and queued waiters with the new epoch) for
+    {!adopt} on the new owner.  {!cancel_freeze} aborts, replaying the
+    parked intake locally. *)
+
+val set_sharding :
+  t ->
+  owned:(Types.resource_id -> bool) ->
+  epoch:(unit -> int) ->
+  forward_ctl:
+    (Types.resource_id -> (Types.ctl_msg, unit) Netsim.Rpc.endpoint option) ->
+  unit
+
+type migration_state = {
+  mig_rid : Types.resource_id;
+  mig_next_sn : int;  (** the resource's sequencer position, preserved *)
+  mig_bounced : int;  (** waiters (queued + parked) told to re-route *)
+  mig_locks :
+    (Types.client_id
+    * (Types.resource_id * int * Mode.t * Ccpfs_util.Interval.t list * int
+      * Lcm.lock_state))
+    list;  (** granted locks, sorted by lock id *)
+  mig_clients :
+    (Types.client_id * (Types.server_msg, unit) Netsim.Rpc.endpoint) list;
+      (** revoke-callback registrations the new owner needs *)
+}
+
+val freeze : t -> Types.resource_id -> unit
+(** Park all new lock requests for the resource (they are neither queued
+    nor bounced) while in-flight protocol activity drains.  Raises
+    [Invalid_argument] if the resource is already freezing. *)
+
+val cancel_freeze : t -> Types.resource_id -> unit
+(** Abort a freeze: replay the parked intake locally, in arrival order. *)
+
+val is_frozen : t -> Types.resource_id -> bool
+(** Whether a {!freeze} is in place for the resource.  A crash
+    ({!crash_online}) clears all freezes, so a migration coordinator
+    re-checks this after its drain window. *)
+
+val can_migrate : t -> Types.resource_id -> bool
+(** Whether {!migrate_out} would succeed right now — false iff an
+    internal sync pseudo-request is queued on the resource.  Check it in
+    the same simulated event as the {!migrate_out} call. *)
+
+val migrate_out : t -> Types.resource_id -> epoch:int -> migration_state option
+(** Extract the resource's lock table for transfer, bouncing queued
+    waiters and parked intake with [Stale_owner {epoch}] — each client
+    refreshes its map and resubmits at the new owner.  Returns [None]
+    (leaving the freeze in place) if an internal sync pseudo-request is
+    queued: its reply closure cannot move, so the caller must
+    {!cancel_freeze} and retry later. *)
+
+val adopt : t -> migration_state -> unit
+(** Install a migrated resource: register the transferred clients'
+    revoke endpoints, reinstall the grants, and restore the sequencer so
+    the next SN issued here continues exactly where the old owner
+    stopped.  The caller additionally applies the extent-log SN floor
+    from the resource's (static) data server. *)
+
+val total_queued : t -> int
+(** Live queued-waiter count over all resources — the value mirrored to
+    the [dlm.<name>.queue] gauge that drives the rebalancer. *)
+
+val hottest_resource : t -> (Types.resource_id * int) option
+(** The resource with the deepest waiting queue (smallest rid on ties),
+    or [None] if nothing is queued. *)
 
 val inject_sn_reuse : t -> every:int -> unit
 (** Fault injection for the sanitizer/fuzzer tests only: every [every]-th

@@ -21,6 +21,12 @@ type grant = {
   replaces : int list;
 }
 
+(* The lock endpoint's reply: a grant, or a bounce from a server that no
+   longer owns the resource's lock namespace (DESIGN.md §15).  The epoch
+   is the shard map's version as of the bounce, so the client knows how
+   fresh a map it must fetch before retrying. *)
+type lock_reply = Granted of grant | Stale_owner of { epoch : int }
+
 type server_msg = Revoke of { rid : resource_id; lock_id : int }
 
 type ctl_msg =
@@ -78,3 +84,7 @@ let pp_request ppf (r : request) =
 let pp_grant ppf g =
   Format.fprintf ppf "grant{#%d c%d r%d %a %a sn%d %a}" g.lock_id g.client
     g.rid Mode.pp g.mode pp_ranges g.ranges g.sn Lcm.pp_state g.state
+
+let pp_lock_reply ppf = function
+  | Granted g -> pp_grant ppf g
+  | Stale_owner { epoch } -> Format.fprintf ppf "stale_owner{epoch%d}" epoch

@@ -36,6 +36,12 @@ type grant = {
           lock upgrading *)
 }
 
+(** The lock endpoint's reply.  [Stale_owner] is the bounce of the
+    sharded namespace (DESIGN.md §15): the addressed server no longer
+    owns the resource, and the client must install a shard map of at
+    least [epoch] before retrying at the current owner. *)
+type lock_reply = Granted of grant | Stale_owner of { epoch : int }
+
 (** Server → client callbacks. *)
 type server_msg = Revoke of { rid : resource_id; lock_id : int }
 
@@ -63,3 +69,4 @@ val normalize_ranges : Ccpfs_util.Interval.t list -> Ccpfs_util.Interval.t list
 
 val pp_request : Format.formatter -> request -> unit
 val pp_grant : Format.formatter -> grant -> unit
+val pp_lock_reply : Format.formatter -> lock_reply -> unit

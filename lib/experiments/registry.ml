@@ -112,6 +112,16 @@ let all =
       run = Exp_failover.run;
     };
     {
+      id = "shard";
+      title = "Shard: lock-namespace sharding, 1-8 servers at 512 clients";
+      paper_claim =
+        "distributing the DLM lifts aggregate lock throughput (§II-B); \
+         epoch-fenced migration keeps Table II semantics while resources \
+         rehome under live traffic";
+      default_scale = 1.0;
+      run = Exp_shard.run;
+    };
+    {
       id = "load";
       title = "Load: open-loop offered-rate sweep to the latency knee";
       paper_claim =

@@ -20,6 +20,8 @@ type load = {
   l_churn : churn list;
 }
 
+type migration = { mg_stripe : int; mg_dst : int; mg_after : float }
+
 type sim = {
   policy_idx : int;
   n_servers : int;
@@ -43,6 +45,12 @@ type sim = {
          go quiescent, an arrival-scheduled stream of page writes with
          bounded backlog and client churn runs against the same file,
          still under the shadow oracle and the determinism double-run. *)
+  migrations : migration list;
+      (* Epoch-fenced lock-namespace migrations (DESIGN.md §15) fired
+         while the phase traffic runs: at [mg_after] seconds, stripe
+         [mg_stripe mod stripes]'s resource is rehomed to server
+         [mg_dst mod n_servers].  Moves whose endpoints are not Up, or
+         that fire before the shared file exists, are skipped. *)
 }
 
 type analytic = { a_clients : int; a_bytes : int }
@@ -86,6 +94,9 @@ let mid_crash_count t =
         (fun acc p -> acc + match p.crash_mid with Some _ -> 1 | None -> 0)
         0 s.phases
 
+let migration_count t =
+  match t.kind with Analytic _ -> 0 | Sim s -> List.length s.migrations
+
 (* Does this case need the fenced transport (retries, failover)? *)
 let online (s : sim) =
   s.loss > 0. || s.dup > 0.
@@ -108,6 +119,9 @@ let summary t =
             Printf.sprintf ", loss %.3f dup %.3f" s.loss s.dup
           else "")
         ^ (if s.batch > 1 then Printf.sprintf ", batch %d" s.batch else "")
+        ^ (match s.migrations with
+          | [] -> ""
+          | ms -> Printf.sprintf ", %d migration(s)" (List.length ms))
         ^
         match s.load with
         | Some l ->
@@ -150,6 +164,11 @@ let pp ppf t =
                 ch.ch_at)
             l.l_churn
       | None -> ());
+      List.iter
+        (fun m ->
+          Format.fprintf ppf "  migration: stripe %d -> server %d at +%gs@,"
+            m.mg_stripe m.mg_dst m.mg_after)
+        s.migrations;
       List.iteri
         (fun pi (p : phase) ->
           Format.fprintf ppf "  phase %d%s%s:@," pi
@@ -255,6 +274,17 @@ let to_json t =
                                  ])
                              l.l_churn) );
                     ] );
+            ( "migrations",
+              List
+                (List.map
+                   (fun m ->
+                     Obj
+                       [
+                         ("stripe", Int m.mg_stripe);
+                         ("dst", Int m.mg_dst);
+                         ("after", Float m.mg_after);
+                       ])
+                   s.migrations) );
             ( "phases",
               List
                 (List.map
@@ -349,6 +379,17 @@ let to_ocaml_test t =
                       "{ ch_at = %s; ch_client = %d; ch_up = %b }"
                       (ml_float ch.ch_at) ch.ch_client ch.ch_up)
                   l.l_churn)));
+      (match s.migrations with
+      | [] -> add "        migrations = [];\n"
+      | ms ->
+          add "        migrations =\n          [ %s ];\n"
+            (String.concat ";\n            "
+               (List.map
+                  (fun m ->
+                    Printf.sprintf
+                      "{ mg_stripe = %d; mg_dst = %d; mg_after = %s }"
+                      m.mg_stripe m.mg_dst (ml_float m.mg_after))
+                  ms)));
       add "        phases =\n          [\n";
       List.iter
         (fun (p : phase) ->

@@ -47,6 +47,18 @@ type load = {
     backlog shedding and churn routing inside randomized cluster
     configurations. *)
 
+type migration = {
+  mg_stripe : int;  (** taken mod the case's stripe count at run time *)
+  mg_dst : int;  (** taken mod the case's server count at run time *)
+  mg_after : float;  (** seconds after the simulation starts *)
+}
+(** An epoch-fenced lock-namespace migration (DESIGN.md §15) fired while
+    the phase traffic runs: the stripe's resource is rehomed onto
+    [mg_dst] through [Cluster.migrate_resource].  Fired moves are
+    skipped when the shared file does not exist yet or either end is not
+    Up; the coordinator itself may also abort (source crashed mid-drain,
+    target went down, force-sync pinning). *)
+
 (** A randomized cluster run: every client executes its per-phase op
     list against one shared file; phases run to quiescence in turn, with
     optional lock-server crash+recovery between them. *)
@@ -69,6 +81,9 @@ type sim = {
   load : load option;
       (** optional open-loop tail segment; drawn after every other field
           so pre-existing seeds keep their shapes *)
+  migrations : migration list;
+      (** mid-run lock-namespace migrations; the newest draw, at the
+          very tail of the rng stream (after even [load]) *)
 }
 
 (** A no-contention-structure validation case: N fully-conflicting PW
@@ -93,6 +108,8 @@ val crash_count : t -> int
 val mid_crash_count : t -> int
 (** Mid-phase (online) crashes, counted separately from the quiescent
     [crash_server] ones. *)
+
+val migration_count : t -> int
 
 val online : sim -> bool
 (** True when the case needs the fenced transport: any message faults or

@@ -52,7 +52,11 @@ let install_inject cl = function
 
 (* §IV-C2: after recovery, freshly issued SNs must stay above everything
    the crashed server ever issued — above both the extent log's high
-   water mark and every grant the clients still cache. *)
+   water mark and every grant the clients still cache.  With the sharded
+   namespace the floor lives wherever the shard map currently homes each
+   resource's locks, while the extent log stays on the static data
+   owner — so the assertion follows both routes instead of assuming the
+   crashed server holds everything. *)
 let assert_sn_floor cl srv =
   let ls = Cluster.lock_server cl srv in
   let ds = Cluster.data_server cl srv in
@@ -62,8 +66,13 @@ let assert_sn_floor cl srv =
   in
   List.iter
     (fun rid ->
-      let next = Seqdlm.Lock_server.next_sn ls rid in
-      let logged = Option.value (Data_server.max_logged_sn ds rid) ~default:0 in
+      let owner = Cluster.server_of_rid cl rid in
+      let ls_owner = Cluster.lock_server cl owner in
+      let next = Seqdlm.Lock_server.next_sn ls_owner rid in
+      let home =
+        Cluster.data_server cl (Shard_map.data_owner (Cluster.shard_map cl) rid)
+      in
+      let logged = Option.value (Data_server.max_logged_sn home rid) ~default:0 in
       let reinstalled =
         (* Write grants only: a read grant's [sn] is a snapshot of
            [next_sn] taken without consuming it, so a fresh post-recovery
@@ -72,13 +81,13 @@ let assert_sn_floor cl srv =
           (fun m (v : Seqdlm.Lock_server.lock_view) ->
             if Seqdlm.Mode.is_write v.v_mode then max m v.v_sn else m)
           0
-          (Seqdlm.Lock_server.granted_locks ls rid)
+          (Seqdlm.Lock_server.granted_locks ls_owner rid)
       in
       if next <= max logged reinstalled then
         Check.Violation.fail ~inv:"recovery-sn-floor"
-          "server %d rid %d: next_sn %d not above max recovered SN (extent \
-           log %d, reinstalled grants %d)"
-          srv rid next logged reinstalled)
+          "server %d (owner %d) rid %d: next_sn %d not above max recovered SN \
+           (extent log %d, reinstalled grants %d)"
+          srv owner rid next logged reinstalled)
     rids
 
 let run_op shadow page c f (op : Case.op) =
@@ -151,6 +160,36 @@ let sim_pass ?inject (case : Case.t) (s : Case.sim) =
         Shadow.record_write shadow ~writer ~rid ~range ~sn ~op)
   done;
   let file = ref None in
+  (* Mid-run migrations (DESIGN.md §15): rehome a stripe's lock
+     namespace while the phase traffic runs.  Spawned up front as
+     regular processes; each sleeps its offset, then skips if the shared
+     file does not exist yet (nothing worth moving) or either end of the
+     move is not Up, and otherwise runs the epoch-fenced coordinator —
+     whose result may still be None (source crashed mid-drain, target
+     went down, or a force-sync pins the resource). *)
+  List.iteri
+    (fun mi (m : Case.migration) ->
+      Dessim.Engine.spawn (Cluster.engine cl)
+        ~name:(Printf.sprintf "fuzz-mig-%d" mi)
+        (fun () ->
+          Dessim.Engine.sleep eng m.Case.mg_after;
+          match !file with
+          | None -> ()
+          | Some f ->
+              let stripe = m.Case.mg_stripe mod s.stripes in
+              let rid = Layout.rid ~fid:(Client.fid f) ~stripe in
+              let dst = m.Case.mg_dst mod s.n_servers in
+              let src = Cluster.server_of_rid cl rid in
+              let up i =
+                match ha with
+                | None -> true
+                | Some ha ->
+                    Ha.Membership.state (Ha.Failover.membership ha) i
+                    = Ha.Membership.Up
+              in
+              if up src && up dst then
+                ignore (Cluster.migrate_resource cl ~rid ~dst)))
+    s.migrations;
   List.iter
     (fun (ph : Case.phase) ->
       let spawned = ref false in

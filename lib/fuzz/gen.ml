@@ -72,7 +72,11 @@ let gen_sim ?(faults = false) seed rng =
   let policy_idx = Det_random.int rng (Array.length Case.policies) in
   let stripes = Det_random.pick rng [| 1; 1; 2; 4 |] in
   let stripe_blocks = Det_random.pick rng [| 4; 8; 16 |] in
-  let n_servers = 1 + Det_random.int rng (min 2 stripes) in
+  (* Server count is drawn independently of the stripe count: with the
+     sharded namespace, n_servers > stripes is a legal (if lopsided)
+     deployment, and multi-server single-stripe cases are exactly where
+     migrations and stale-route bounces bite. *)
+  let n_servers = 1 + Det_random.int rng 4 in
   let n_clients = 1 + Det_random.int rng 4 in
   let dirty_min_blocks =
     (* Tight limits make the flush daemon and writer backpressure fire
@@ -172,6 +176,25 @@ let gen_sim ?(faults = false) seed rng =
     end
     else None
   in
+  (* Migration draw is the very tail of the stream (the newest layer,
+     after even the load draw) so every pre-sharding seed keeps its
+     shape.  A fifth of cases rehome one or two stripes mid-run; the
+     offsets span the window where phase traffic is typically still in
+     flight. *)
+  let migrations =
+    if Det_random.int rng 5 = 0 then begin
+      let n = 1 + Det_random.int rng 2 in
+      let acc = ref [] in
+      for _ = 1 to n do
+        let mg_stripe = Det_random.int rng stripes in
+        let mg_dst = Det_random.int rng n_servers in
+        let mg_after = Det_random.float rng (500. *. params.rtt) in
+        acc := { Case.mg_stripe; mg_dst; mg_after } :: !acc
+      done;
+      List.rev !acc
+    end
+    else []
+  in
   {
     Case.seed;
     params;
@@ -193,6 +216,7 @@ let gen_sim ?(faults = false) seed rng =
           batch;
           phases;
           load;
+          migrations;
         };
   }
 

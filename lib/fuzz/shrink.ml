@@ -38,8 +38,18 @@ let candidates (c : Case.t) =
   | Case.Sim s ->
       let acc = ref [] in
       let add s' = acc := with_sim c s' :: !acc in
-      (* Drop the open-loop load segment first: the newest layer of the
-         case, and the phases alone usually reproduce old failures. *)
+      (* Drop the migrations first: the newest layer of the case, and a
+         failure that survives without them is an ordinary (and far more
+         comprehensible) sharding-free reproduction.  All at once, then
+         one by one. *)
+      (match s.migrations with
+      | [] -> ()
+      | ms ->
+          add { s with migrations = [] };
+          if List.length ms > 1 then
+            List.iteri (fun mi _ -> add { s with migrations = remove_nth ms mi }) ms);
+      (* Then the open-loop load segment: the next-newest layer, and the
+         phases alone usually reproduce old failures. *)
       (match s.load with
       | Some l ->
           add { s with load = None };

@@ -71,9 +71,6 @@ let crash t i =
 (* Recovery coordinator (§IV-C2, online)                             *)
 (* ---------------------------------------------------------------- *)
 
-let recovery_lock_tuple (r : Lock_client.recovery_lock) =
-  (r.r_rid, r.r_lock_id, r.r_mode, r.r_ranges, r.r_sn, r.r_state)
-
 (* Runs inside its own (regular) simulated process, spawned by the
    failure declaration.  Order matters:
    1. fence — bump the epoch while every endpoint is still down;
@@ -120,32 +117,27 @@ let recover t i =
       Rpc.name (Data_server.endpoint ds);
     ]
   in
-  let reinstalled = ref 0 in
-  for c = 0 to Cluster.n_clients t.cl - 1 do
-    let lc = Client.lock_client (Cluster.client t.cl c) in
-    let query =
-      {
-        Lock_client.rq_server = srv_name;
-        rq_epoch = epoch;
-        rq_endpoints = ep_names;
-      }
-    in
-    let locks =
-      Rpc.call (Lock_client.recovery_endpoint lc)
-        ~src:(Cluster.server_node t.cl i) query
-    in
-    reinstalled := !reinstalled + List.length locks;
-    Lock_server.reinstall ls
-      ~client:(Lock_client.client_id lc)
-      ~locks:(List.map recovery_lock_tuple locks)
-  done;
-  List.iter
-    (fun rid ->
-      match Data_server.max_logged_sn ds rid with
-      | Some sn -> Lock_server.restore_sn_floor ls rid sn
-      | None -> ())
-    (Data_server.stripe_rids ds);
-  Lock_server.check_invariants ls;
+  (* Clients filter their gathered grants through current lock
+     ownership: treat the gather query as carrying the shard map. *)
+  Cluster.refresh_client_maps t.cl;
+  let query =
+    {
+      Lock_client.rq_server = srv_name;
+      rq_epoch = epoch;
+      rq_endpoints = ep_names;
+    }
+  in
+  (* The shared §IV-C2 core (Cluster.recover_lock_server) reinstalls the
+     gathered grants and restores the SN floors — identical to the
+     offline path, so the two recoveries cannot drift.  Gathering by RPC
+     additionally bumps each client's epoch view (the handler fences the
+     crashed endpoints), which the offline path does not need. *)
+  let reinstalled =
+    Cluster.recover_lock_server t.cl i ~gather:(fun c ->
+        Rpc.call
+          (Lock_client.recovery_endpoint (Client.lock_client c))
+          ~src:(Cluster.server_node t.cl i) query)
+  in
   (* Reopen under the new epoch: requests stamped with the old one are
      now answered Stale instead of being silently processed. *)
   Rpc.set_epoch (Lock_server.lock_endpoint ls) epoch;
@@ -158,7 +150,7 @@ let recover t i =
   Membership.renew_lease t.membership i;
   Membership.set_state t.membership i Membership.Up;
   Obs.Metrics.incr t.failovers;
-  Obs.Metrics.add t.reinstalled !reinstalled;
+  Obs.Metrics.add t.reinstalled reinstalled;
   t.records <-
     {
       f_server = i;
@@ -166,7 +158,7 @@ let recover t i =
       f_crash = t.crash_ts.(i);
       f_detect = t.detect_ts.(i);
       f_recover = Engine.now t.eng;
-      f_reinstalled = !reinstalled;
+      f_reinstalled = reinstalled;
       f_dropped_waiters = t.dropped.(i);
       f_replayed_bytes = replayed;
     }

@@ -1,0 +1,77 @@
+open Dessim
+open Ccpfs
+module Lock_server = Seqdlm.Lock_server
+
+type t = {
+  cl : Cluster.t;
+  eng : Engine.t;
+  membership : Membership.t option;
+  period : float;
+  threshold : int;
+  gauges : Obs.Metrics.gauge array;
+  mutable moves : int;
+  mutable stopped : bool;
+}
+
+let moves t = t.moves
+let stop t = t.stopped <- true
+
+let create ?membership ?period ?(threshold = 4) cl =
+  let eng = Cluster.engine cl in
+  let metrics = Engine.metrics eng in
+  if not (Obs.Metrics.is_enabled metrics) then
+    invalid_arg
+      "Ha.Rebalancer.create: the metrics registry is disabled, so the \
+       queue-depth gauges it steers by would read 0 forever";
+  if threshold < 1 then invalid_arg "Ha.Rebalancer.create: threshold < 1";
+  let period =
+    Option.value period ~default:(50. *. (Cluster.params cl).Netsim.Params.rtt)
+  in
+  let gauges =
+    (* The live queue-depth gauge each lock server maintains
+       (Lock_server.queue_track); resolved once by name. *)
+    Array.init (Cluster.n_servers cl) (fun i ->
+        Obs.Metrics.gauge metrics (Printf.sprintf "dlm.ls%d.queue" i))
+  in
+  {
+    cl; eng; membership; period; threshold; gauges; moves = 0;
+    stopped = false;
+  }
+
+let up t i =
+  match t.membership with
+  | None -> true
+  | Some m -> Membership.state m i = Membership.Up
+
+(* One balancing decision.  Deterministic throughout: depths come from
+   the gauges, every arg-extremum scan breaks ties towards the smallest
+   server index, and the hottest-resource pick inside the lock server
+   breaks ties towards the smallest rid. *)
+let tick t =
+  let n = Cluster.n_servers t.cl in
+  let depth i = int_of_float (Obs.Metrics.gauge_value t.gauges.(i)) in
+  let src = ref (-1) and dst = ref (-1) in
+  for i = 0 to n - 1 do
+    if up t i then begin
+      if !src < 0 || depth i > depth !src then src := i;
+      if !dst < 0 || depth i < depth !dst then dst := i
+    end
+  done;
+  if
+    !src >= 0 && !dst >= 0 && !src <> !dst
+    && depth !src - depth !dst >= t.threshold
+  then begin
+    match Lock_server.hottest_resource (Cluster.lock_server t.cl !src) with
+    | Some (rid, _) when Cluster.server_of_rid t.cl rid = !src -> (
+        match Cluster.migrate_resource t.cl ~rid ~dst:!dst with
+        | Some _ -> t.moves <- t.moves + 1
+        | None -> ())
+    | _ -> ()
+  end
+
+let start t =
+  Engine.spawn t.eng ~daemon:true ~name:"ha.rebalance" (fun () ->
+      while not t.stopped do
+        Engine.sleep t.eng t.period;
+        if not t.stopped then tick t
+      done)

@@ -1,0 +1,33 @@
+(** Queue-depth-driven lock-namespace rebalancing (DESIGN.md §15).
+
+    A daemon samples every lock server's [dlm.ls<i>.queue] gauge each
+    period.  When the deepest queue among Up servers exceeds the
+    shallowest by at least [threshold], the most-loaded server's hottest
+    resource (deepest per-resource waiting queue) is migrated to the
+    least-loaded server via {!Ccpfs.Cluster.migrate_resource} — one
+    epoch-fenced move per tick, so the map settles between decisions.
+    All tie-breaks are by smallest index/rid, keeping runs
+    deterministic. *)
+
+type t
+
+val create :
+  ?membership:Membership.t -> ?period:float -> ?threshold:int ->
+  Ccpfs.Cluster.t -> t
+(** [membership] restricts both ends of a move to servers in state [Up]
+    (without it every server is eligible).  [period] defaults to
+    50 RTTs; [threshold] (>= 1) to 4 queued waiters.
+    @raise Invalid_argument if the engine's metrics registry is
+    disabled — the gauges would read 0 forever and the daemon would
+    never act.  Enable it first ({!Obs.Metrics.enable}); the experiment
+    harness already does. *)
+
+val start : t -> unit
+(** Spawn the daemon (an engine daemon: it never blocks {!Ccpfs.Cluster.run}
+    from returning). *)
+
+val stop : t -> unit
+(** Stop balancing after the current tick. *)
+
+val moves : t -> int
+(** Completed migrations initiated by this daemon. *)

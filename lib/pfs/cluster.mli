@@ -1,7 +1,14 @@
 (** Assembly of a whole simulated ccPFS deployment: a metadata node, data
     servers (each running an IO service and the DLM service for its
-    stripes), and clients.  Stripes are distributed to servers by hashing
-    the resource id (§IV), here [rid mod n_servers]. *)
+    stripes), and clients.
+
+    Data placement is static — stripe [rid] is stored on server
+    [rid mod n_servers] (§IV) and never moves.  The {e lock} namespace is
+    dynamic: ownership is read from an epoch-versioned {!Shard_map}
+    (DESIGN.md §15) on every route decision, and single resources can be
+    rehomed between live servers with {!migrate_resource}.  Clients hold
+    cached map replicas refreshed through a meta-node map service when a
+    server bounces them with [Stale_owner]. *)
 
 type t
 
@@ -24,7 +31,13 @@ val policy : t -> Seqdlm.Policy.t
 val n_clients : t -> int
 val n_servers : t -> int
 val client : t -> int -> Client.t
+
 val server_of_rid : t -> int -> int
+(** Current lock owner of a resource, read from the authoritative shard
+    map — the single source of truth also backing every client's route
+    and every server's ownership gate. *)
+
+val shard_map : t -> Shard_map.t
 val data_server : t -> int -> Data_server.t
 val lock_server : t -> int -> Seqdlm.Lock_server.t
 val server_node : t -> int -> Netsim.Node.t
@@ -33,6 +46,9 @@ val reliability : t -> Netsim.Rpc.reliability option
 
 val total_retries : t -> int
 (** Fenced-call retransmissions summed over all clients. *)
+
+val total_stale_bounces : t -> int
+(** [Stale_owner] bounces summed over all clients. *)
 
 val spawn_client : t -> int -> name:string -> (Client.t -> unit) -> unit
 (** Spawn a process running on client [i]. *)
@@ -45,6 +61,21 @@ val fsync_all : t -> unit
     completion (the explicit flush phase whose duration is the "F time"
     of the evaluation figures). *)
 
+val refresh_client_maps : t -> unit
+(** Install the current shard-map snapshot into every client's cached
+    replica.  Recovery coordinators call this before gathering so
+    clients filter their cached grants through up-to-date ownership
+    (the query is treated as carrying the map). *)
+
+val recover_lock_server :
+  t -> int -> gather:(Client.t -> Seqdlm.Lock_client.recovery_lock list) -> int
+(** The §IV-C2 recovery core shared by {!crash_and_recover_server} and
+    the online coordinator ({!Ha.Failover}): reinstall each client's
+    gathered grants for the resources server [i] owns (filtered against
+    the authoritative map), restore SN floors from the extent logs of
+    each resource's {e data} home, and run the server self-check.
+    Returns the number of locks reinstalled. *)
+
 val crash_and_recover_server : t -> int -> unit
 (** Fail server [i] between runs and run the §IV-C2 recovery protocol:
     (1) the lock server rebuilds its lock table by gathering the grants
@@ -54,6 +85,33 @@ val crash_and_recover_server : t -> int -> unit
     (3) sequence-number floors are restored from both sources, so SNs
     issued after recovery stay above everything ever written.
     Requires {!Config.t.extent_log}. *)
+
+(** {1 Resource migration (DESIGN.md §15)} *)
+
+type migration_record = {
+  m_rid : int;
+  m_from : int;
+  m_to : int;
+  m_epoch : int;  (** shard-map epoch installed by this migration *)
+  m_start : float;
+  m_commit : float;
+  m_locks_moved : int;
+  m_bounced : int;  (** waiters bounced with [Stale_owner] *)
+}
+
+val migrate_resource : t -> rid:int -> dst:int -> migration_record option
+(** Epoch-fenced rehoming of one resource's lock namespace onto [dst],
+    safe under live traffic: freeze intake, drain in-flight activity for
+    a two-RTT window, then atomically flip the map, extract the lock
+    table (bouncing queued and parked waiters with the new epoch), adopt
+    on [dst] and restore the extent-log SN floor from the resource's
+    static data home.  [None] (no map change) when the resource already
+    lives on [dst], a colocated force-sync pins it, the source crashed
+    during the drain window, or [dst] is down.  Must be called from
+    within an engine process. *)
+
+val migrations : t -> migration_record list
+(** Completed migrations, oldest first. *)
 
 (** {1 Aggregated metrics} *)
 

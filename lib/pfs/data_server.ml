@@ -56,6 +56,9 @@ type t = {
   node : Node.t;
   name : string;
   lock_server : Seqdlm.Lock_server.t;
+  mutable lock_route : (int -> Seqdlm.Lock_server.t) option;
+      (* sharded clusters install the authoritative rid -> owner route;
+         None = the colocated server owns everything (pre-sharding) *)
   stripes : (int, stripe) Hashtbl.t;
   stats : stats;
   mutable ep : (io_req, io_resp) Rpc.endpoint option;
@@ -63,6 +66,14 @@ type t = {
   mutable drop_every : int; (* injected fault: 0 = off *)
   mutable blocks_seen : int;
 }
+
+(* The lock server currently owning [rid]'s namespace.  The mSN queries
+   of the cleanup task and the ctl application of piggybacked flushes
+   must follow migrations: consulting the colocated server after the
+   resource moved away would see an empty table and, e.g., reclaim cache
+   entries whose write locks are still live on the new owner. *)
+let lock_server_for t rid =
+  match t.lock_route with Some route -> route rid | None -> t.lock_server
 
 let stripe t rid =
   match Hashtbl.find_opt t.stripes rid with
@@ -169,7 +180,7 @@ let handle t req ~reply =
           (function Seqdlm.Types.Release _ -> false | _ -> true)
           ctl
       in
-      List.iter (Seqdlm.Lock_server.control t.lock_server) pre;
+      List.iter (Seqdlm.Lock_server.control (lock_server_for t rid)) pre;
       let st = stripe t rid in
       t.stats.flush_rpcs <- t.stats.flush_rpcs + 1;
       t.stats.blocks_in <- t.stats.blocks_in + List.length blocks;
@@ -187,7 +198,7 @@ let handle t req ~reply =
       (* Device occupancy for the update set (the discarded parts never
          reach the device). *)
       Node.disk_write t.node written;
-      List.iter (Seqdlm.Lock_server.control t.lock_server) post;
+      List.iter (Seqdlm.Lock_server.control (lock_server_for t rid)) post;
       reply Done
   | Read { rid; range } ->
       ds_span t "ds.read"
@@ -238,7 +249,8 @@ let cleanup_round t =
               decr budget;
               let reclaimable =
                 match
-                  Seqdlm.Lock_server.min_unreleased_write_sn t.lock_server rid iv
+                  Seqdlm.Lock_server.min_unreleased_write_sn (lock_server_for t rid)
+                    rid iv
                 with
                 | None -> true
                 | Some msn -> sn <= msn
@@ -263,7 +275,7 @@ let force_sync t =
   List.iter
     (fun rid ->
       incr pending;
-      Seqdlm.Lock_server.sync_resource t.lock_server rid ~on_behalf:(-1)
+      Seqdlm.Lock_server.sync_resource (lock_server_for t rid) rid ~on_behalf:(-1)
         ~reply:(fun () ->
           decr pending;
           if !pending = 0 then Condition.broadcast done_))
@@ -297,6 +309,7 @@ let create eng params config ~node ~name ~lock_server =
   let t =
     {
       eng; params; config; node; name; lock_server;
+      lock_route = None;
       stripes = Hashtbl.create 64;
       stats =
         {
@@ -318,6 +331,7 @@ let create eng params config ~node ~name ~lock_server =
   t
 
 let endpoint t = Option.get t.ep
+let set_lock_route t route = t.lock_route <- Some route
 let contents t rid = (stripe t rid).store
 let extent_cache_entries t = total_cache_entries t
 

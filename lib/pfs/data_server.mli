@@ -54,6 +54,14 @@ val create :
 
 val endpoint : t -> (io_req, io_resp) Netsim.Rpc.endpoint
 
+val set_lock_route : t -> (int -> Seqdlm.Lock_server.t) -> unit
+(** Install the authoritative rid → owning-lock-server route of a
+    sharded cluster (DESIGN.md §15).  The mSN queries of the cleanup
+    task, the piggybacked ctl application and {!sync_resource} fallbacks
+    then follow resource migrations instead of always consulting the
+    colocated server.  Without it the colocated server owns everything
+    (the pre-sharding behaviour). *)
+
 val contents : t -> int -> Ccpfs_util.Content.t
 (** Current device contents of a stripe (empty if never written). *)
 

@@ -130,10 +130,14 @@ let test_load_segment_tail_positioned () =
         (String.length sum > String.length sum'
         && String.sub sum 0 (String.length sum') = sum')
 
+let has_migrations (c : Fuzz.Case.t) = Fuzz.Case.migration_count c > 0
+
 (* The shrinker's very first candidate for a load-carrying case drops
-   the whole segment, so old failures minimize back to plain cases. *)
+   the whole segment, so old failures minimize back to plain cases.
+   (Migration-free case: migrations are a yet-newer layer and shed
+   before the load segment — covered by its own test below.) *)
 let test_shrink_drops_load_first () =
-  let case = first_case has_load base in
+  let case = first_case (fun c -> has_load c && not (has_migrations c)) base in
   match Fuzz.Shrink.candidates case with
   | [] -> Alcotest.fail "no candidates for a load-carrying case"
   | first :: _ ->
@@ -148,6 +152,50 @@ let test_shrink_drops_load_first () =
             (List.length a.Fuzz.Case.phases)
             (List.length b.Fuzz.Case.phases)
       | _ -> Alcotest.fail "candidate changed case kind")
+
+(* ---- mid-run migrations (DESIGN.md §15 integration) ---- *)
+
+(* The generator draws migrations at the very tail: they must appear,
+   run oracle-clean (the suite-wide CCPFS_CHECK=full pass adds the
+   ownership-exclusivity sweep), and stay deterministic. *)
+let test_migration_segment_generated_and_runs () =
+  let case = first_case has_migrations base in
+  let o = Fuzz.Exec.run case in
+  let o2 = Fuzz.Exec.run case in
+  Alcotest.(check int64) "migration case is deterministic" o.fingerprint
+    o2.fingerprint
+
+(* Migrations are the newest layer, so the shrinker sheds them before
+   anything else — a failure that survives without them reproduces on a
+   sharding-free case. *)
+let test_shrink_drops_migrations_first () =
+  let case = first_case has_migrations base in
+  match Fuzz.Shrink.candidates case with
+  | [] -> Alcotest.fail "no candidates for a migration-carrying case"
+  | first :: _ ->
+      Alcotest.(check bool) "first candidate has no migrations" true
+        (not (has_migrations first));
+      (match (case.kind, first.kind) with
+      | Fuzz.Case.Sim a, Fuzz.Case.Sim b ->
+          Alcotest.(check int) "clients kept" a.Fuzz.Case.n_clients
+            b.Fuzz.Case.n_clients;
+          Alcotest.(check bool) "load kept" true
+            (Option.is_some a.Fuzz.Case.load = Option.is_some b.Fuzz.Case.load);
+          Alcotest.(check int) "phases kept"
+            (List.length a.Fuzz.Case.phases)
+            (List.length b.Fuzz.Case.phases)
+      | _ -> Alcotest.fail "candidate changed case kind")
+
+let test_migration_json_and_skeleton () =
+  let case = first_case has_migrations base in
+  (match Obs.Json.parse (Obs.Json.to_string (Fuzz.Case.to_json case)) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  let skel = Fuzz.Case.to_ocaml_test case in
+  Alcotest.(check bool) "skeleton embeds the migrations" true
+    (contains ~sub:"mg_stripe" skel);
+  Alcotest.(check bool) "summary mentions them" true
+    (contains ~sub:"migration" (Fuzz.Case.summary case))
 
 let test_load_segment_json_and_skeleton () =
   let case = first_case has_load base in
@@ -193,5 +241,11 @@ let suite =
           test_shrink_drops_load_first;
         Alcotest.test_case "load segment JSON and test skeleton" `Quick
           test_load_segment_json_and_skeleton;
+        Alcotest.test_case "migration segment generated and deterministic"
+          `Quick test_migration_segment_generated_and_runs;
+        Alcotest.test_case "shrinker drops migrations first" `Quick
+          test_shrink_drops_migrations_first;
+        Alcotest.test_case "migration JSON and test skeleton" `Quick
+          test_migration_json_and_skeleton;
       ] );
   ]

@@ -26,5 +26,6 @@ let () =
             Test_load.suite;
             Test_fuzz.suite;
             Test_ha.suite;
+            Test_shard.suite;
             Test_lint.suite;
           ]))

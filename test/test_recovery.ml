@@ -180,6 +180,7 @@ let test_crash_with_dirty_cache_flush () =
             dup = 0.;
             batch = 0;
             load = None;
+            migrations = [];
             phases =
               [
                 {
